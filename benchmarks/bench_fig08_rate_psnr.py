@@ -1,0 +1,43 @@
+"""Fig. 8: rate-PSNR curves for all codecs on all six datasets.
+
+Paper: QoZ (rate-PSNR preferred mode) has the best curve everywhere, with
+~150%/70% CR gains on Miranda at PSNR 55/65 and ~80% on RTM at PSNR ~60.
+"""
+
+from conftest import bench_dataset, record
+from repro import MGARDPlus, QoZ, SZ2, SZ3, ZFP
+from repro.analysis import format_table, rate_distortion_curve
+from repro.datasets import dataset_names
+
+REL_EBS = (1e-2, 3e-3, 1e-3, 3e-4, 1e-4)
+
+
+def _run():
+    rows = []
+    for name in dataset_names():
+        data = bench_dataset(name)
+        for cname, codec in [
+            ("sz2", SZ2()),
+            ("sz3", SZ3()),
+            ("zfp", ZFP()),
+            ("mgard", MGARDPlus()),
+            ("qoz", QoZ(metric="psnr")),
+        ]:
+            for pt in rate_distortion_curve(codec, data, REL_EBS,
+                                            compute_ssim=False):
+                rows.append(
+                    [name, cname, pt.rel_eb, round(pt.bit_rate, 4),
+                     round(pt.psnr, 2)]
+                )
+    return rows
+
+
+def test_fig08_rate_psnr(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    table = format_table(
+        ["dataset", "codec", "rel_eb", "bit_rate", "psnr"],
+        rows,
+        title="Fig. 8 — rate-PSNR series (paper: QoZ curve dominates; "
+        "plot bit_rate (x) vs psnr (y) per dataset)",
+    )
+    record("fig08_rate_psnr", table)

@@ -1,0 +1,44 @@
+"""Fig. 9: rate-SSIM curves (QoZ in 'ssim' tuning mode).
+
+Paper: QoZ best or near-best everywhere; +120% CR on CESM at SSIM 0.9,
++270%/+150% on Miranda at SSIM 0.6/0.65.
+"""
+
+from conftest import bench_dataset, record
+from repro import MGARDPlus, QoZ, SZ2, SZ3, ZFP
+from repro.analysis import format_table, rate_distortion_curve
+from repro.datasets import dataset_names
+
+# looser bounds than Fig. 8: SSIM only differentiates once visible
+# distortion appears (the paper's SSIM axes span ~0.4-1.0)
+REL_EBS = (1e-1, 3e-2, 1e-2, 3e-3)
+
+
+def _run():
+    rows = []
+    for name in dataset_names():
+        data = bench_dataset(name)
+        for cname, codec in [
+            ("sz2", SZ2()),
+            ("sz3", SZ3()),
+            ("zfp", ZFP()),
+            ("mgard", MGARDPlus()),
+            ("qoz", QoZ(metric="ssim")),
+        ]:
+            for pt in rate_distortion_curve(codec, data, REL_EBS):
+                rows.append(
+                    [name, cname, pt.rel_eb, round(pt.bit_rate, 4),
+                     round(pt.ssim, 4)]
+                )
+    return rows
+
+
+def test_fig09_rate_ssim(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    table = format_table(
+        ["dataset", "codec", "rel_eb", "bit_rate", "ssim"],
+        rows,
+        title="Fig. 9 — rate-SSIM series (paper: QoZ best/near-best; "
+        "plot bit_rate (x) vs ssim (y) per dataset)",
+    )
+    record("fig09_rate_ssim", table)

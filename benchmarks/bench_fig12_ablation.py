@@ -1,0 +1,45 @@
+"""Fig. 12: ablation study — each QoZ component's rate-distortion gain.
+
+Paper: on CESM-ATM and Miranda, adding anchor points (AP), sampled global
+interpolator selection (S), level-wise interpolation selection (LIS) and
+parameter auto-tuning (PA) to SZ3 improves rate-PSNR step by step.
+"""
+
+from conftest import bench_dataset, record
+from repro import QoZ, SZ3
+from repro.analysis import format_table, rate_distortion_curve
+
+REL_EBS = (3e-3, 1e-3, 3e-4)
+
+VARIANTS = [
+    ("sz3", lambda: SZ3()),
+    ("sz3+AP", lambda: QoZ(selection="none", tune=False)),
+    ("sz3+AP+S", lambda: QoZ(selection="global", tune=False)),
+    ("sz3+AP+S+LIS", lambda: QoZ(selection="level", tune=False)),
+    ("qoz (full)", lambda: QoZ(selection="level", tune=True, metric="psnr")),
+]
+
+
+def _run():
+    rows = []
+    for name in ("cesm", "miranda"):
+        data = bench_dataset(name)
+        for vname, factory in VARIANTS:
+            for pt in rate_distortion_curve(factory(), data, REL_EBS,
+                                            compute_ssim=False):
+                rows.append(
+                    [name, vname, pt.rel_eb, round(pt.bit_rate, 4),
+                     round(pt.psnr, 2)]
+                )
+    return rows
+
+
+def test_fig12_ablation(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    table = format_table(
+        ["dataset", "variant", "rel_eb", "bit_rate", "psnr"],
+        rows,
+        title="Fig. 12 — ablation (paper: rate-distortion improves with "
+        "each added component, full QoZ best)",
+    )
+    record("fig12_ablation", table)

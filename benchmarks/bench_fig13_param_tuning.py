@@ -1,0 +1,45 @@
+"""Fig. 13: fixed (alpha, beta) settings vs auto-tuning.
+
+Paper: on CESM-ATM and NYX, the best fixed (alpha, beta) changes with the
+bit rate — (1,1) wins at high rates, (2,4) at low rates — and the
+auto-tuner tracks the upper envelope at every rate.
+"""
+
+from conftest import bench_dataset, record
+from repro import QoZ
+from repro.analysis import format_table, rate_distortion_curve
+
+REL_EBS = (1e-2, 1e-3, 1e-4)
+
+SETTINGS = [
+    ("a=1,b=1", dict(alpha=1.0, beta=1.0)),
+    ("a=1.5,b=3", dict(alpha=1.5, beta=3.0)),
+    ("a=2,b=4", dict(alpha=2.0, beta=4.0)),
+    ("autotune", dict(metric="psnr")),
+]
+
+
+def _run():
+    rows = []
+    for name in ("cesm", "nyx"):
+        data = bench_dataset(name)
+        for sname, kwargs in SETTINGS:
+            codec = QoZ(**kwargs)
+            for pt in rate_distortion_curve(codec, data, REL_EBS,
+                                            compute_ssim=False):
+                rows.append(
+                    [name, sname, pt.rel_eb, round(pt.bit_rate, 4),
+                     round(pt.psnr, 2)]
+                )
+    return rows
+
+
+def test_fig13_parameter_tuning(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    table = format_table(
+        ["dataset", "setting", "rel_eb", "bit_rate", "psnr"],
+        rows,
+        title="Fig. 13 — fixed (alpha, beta) vs auto-tuning (paper: best "
+        "fixed setting flips across bit rates; autotune tracks the best)",
+    )
+    record("fig13_param_tuning", table)

@@ -1,0 +1,57 @@
+"""Table IV: compression/decompression throughput (MB/s) at eps = 1e-3.
+
+Paper (C/C++ on a 64-core Xeon): ZFP and SZ2 fastest (~150-550 MB/s),
+QoZ within ~10-25% of SZ3.  Our absolute numbers are pure-Python and far
+lower; the *relative* claim to check is that QoZ's online tuning keeps it
+comparable to SZ3 rather than multiples slower.
+"""
+
+import time
+
+from conftest import bench_dataset, record
+from repro import MGARDPlus, QoZ, SZ2, SZ3, ZFP
+from repro.analysis import format_table
+from repro.datasets import dataset_names
+
+EPS = 1e-3
+
+
+def _measure(codec, data):
+    t0 = time.perf_counter()
+    blob = codec.compress(data, rel_error_bound=EPS)
+    t1 = time.perf_counter()
+    codec.decompress(blob)
+    t2 = time.perf_counter()
+    mb = data.nbytes / 1e6
+    return mb / (t1 - t0), mb / (t2 - t1)
+
+
+def _run():
+    rows = []
+    for name in dataset_names():
+        data = bench_dataset(name)
+        speeds = {}
+        for cname, codec in [
+            ("sz2", SZ2()),
+            ("sz3", SZ3()),
+            ("zfp", ZFP()),
+            ("mgard", MGARDPlus()),
+            ("qoz", QoZ(metric="psnr")),
+        ]:
+            speeds[cname] = _measure(codec, data)
+        rows.append([name, "compress"] + [round(speeds[c][0], 1) for c in
+                                          ("sz2", "sz3", "zfp", "mgard", "qoz")])
+        rows.append([name, "decompress"] + [round(speeds[c][1], 1) for c in
+                                            ("sz2", "sz3", "zfp", "mgard", "qoz")])
+    return rows
+
+
+def test_table4_throughput(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    table = format_table(
+        ["dataset", "direction", "sz2", "sz3", "zfp", "mgard", "qoz"],
+        rows,
+        title="Table IV — throughput in MB/s at eps=1e-3 (paper is native "
+        "C/C++; check the QoZ-vs-SZ3 ratio, not absolute numbers)",
+    )
+    record("table4_speed", table)

@@ -1,0 +1,43 @@
+"""Quickstart: compress a scientific field with QoZ, verify the bound.
+
+Run: python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import QoZ, SZ3, psnr, ssim
+from repro.datasets import get_dataset
+from repro.metrics import compression_ratio, error_autocorrelation
+
+
+def main() -> None:
+    # a Miranda-like 3-D turbulence field (paper Table II stand-in)
+    data = get_dataset("miranda", shape=(48, 64, 64), seed=0)
+    print(f"input: {data.shape} {data.dtype}, {data.nbytes / 1e6:.1f} MB")
+
+    # value-range-relative error bound, as in the paper's evaluation
+    eps = 1e-3
+    codec = QoZ(metric="cr")  # 'maximize compression ratio' tuning mode
+    blob = codec.compress(data, rel_error_bound=eps)
+    recon = codec.decompress(blob)
+
+    eb = eps * float(data.max() - data.min())
+    max_err = np.abs(recon.astype(np.float64) - data.astype(np.float64)).max()
+    assert max_err <= eb, "error bound must hold on every point"
+
+    report = codec.last_report
+    print(f"compressed: {len(blob)} bytes "
+          f"(CR = {compression_ratio(data, blob):.1f}x)")
+    print(f"max |error| = {max_err:.3g} <= eb = {eb:.3g}")
+    print(f"PSNR = {psnr(data, recon):.2f} dB, SSIM = {ssim(data, recon):.4f}, "
+          f"lag-1 error AC = {error_autocorrelation(data, recon):+.3f}")
+    print(f"auto-tuned alpha = {report.alpha}, beta = {report.beta}, "
+          f"anchor stride = {report.anchor_stride}")
+
+    # compare against the SZ3 baseline at the same bound
+    sz3_blob = SZ3().compress(data, rel_error_bound=eps)
+    print(f"SZ3 at the same bound: CR = {compression_ratio(data, sz3_blob):.1f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Compressing an evolving seismic wavefield (RTM use case, paper §I).
+
+Reverse time migration stores thousands of wavefield snapshots; this
+example propagates an acoustic wave with the built-in FD solver and
+compresses snapshots at several times, showing how compressibility drops
+as the wavefront fills the domain — and that QoZ's advantage over SZ3
+grows on the later, regionally heterogeneous snapshots (the anchor-point
+effect, paper §V-B1).
+
+Run: python examples/seismic_rtm.py
+"""
+
+import numpy as np
+
+from repro import QoZ, SZ3
+from repro.datasets import WaveSimulator
+from repro.metrics import compression_ratio
+
+
+def main() -> None:
+    sim = WaveSimulator((48, 64, 64), seed=0)
+    eps = 1e-3
+    print("step   nonzero%   SZ3 CR    QoZ CR")
+    for checkpoint in (10, 25, 40, 60):
+        sim.step(checkpoint - sim.step_count)
+        snap = sim.snapshot()
+        peak = np.abs(snap).max() or 1.0
+        snap = (snap / peak).astype(np.float32)
+        occupancy = 100.0 * np.mean(np.abs(snap) > 1e-4)
+        cr_sz3 = compression_ratio(
+            snap, SZ3().compress(snap, rel_error_bound=eps)
+        )
+        cr_qoz = compression_ratio(
+            snap, QoZ(metric="cr").compress(snap, rel_error_bound=eps)
+        )
+        print(f"{checkpoint:4d} {occupancy:9.1f}% {cr_sz3:9.1f} {cr_qoz:9.1f}")
+
+    print("\nearly snapshots are mostly quiet -> extreme ratios; the "
+          "wavefront fills the volume and ratios settle (paper Table III "
+          "RTM row)")
+
+
+if __name__ == "__main__":
+    main()

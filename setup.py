@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so that
+``python setup.py develop`` works on hosts without the ``wheel`` package
+(pip's PEP-517 editable path needs it, offline machines may lack it).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,73 @@
+"""repro — a from-scratch reproduction of QoZ (SC22).
+
+QoZ is a dynamic quality-metric-oriented error-bounded lossy compression
+framework for scientific floating-point datasets (Liu et al., SC 2022).
+This package implements the QoZ compressor, the SZ3 interpolation compressor
+it extends, the SZ2.1 / ZFP / MGARD+ baselines it is evaluated against, the
+shared quantization + entropy-coding pipeline, quality metrics, synthetic
+stand-ins for the paper's six application datasets, and a parallel dump/load
+performance model.
+
+Quickstart::
+
+    import numpy as np
+    from repro import QoZ, psnr
+
+    data = np.random.default_rng(0).random((64, 64, 64)).astype(np.float32)
+    codec = QoZ(metric="psnr")
+    blob = codec.compress(data, rel_error_bound=1e-3)
+    recon = codec.decompress(blob)
+    assert np.max(np.abs(recon - data)) <= 1e-3 * (data.max() - data.min())
+    print(len(blob), psnr(data, recon))
+"""
+
+from repro.errors import (
+    ReproError,
+    CompressionError,
+    DecompressionError,
+    ConfigurationError,
+)
+
+__version__ = "1.0.0"
+
+# public names -> defining module (loaded lazily, PEP 562, so that the
+# encoding/metrics substrates can be used without importing every codec)
+_LAZY = {
+    "Compressor": "repro.compressors.base",
+    "get_compressor": "repro.compressors.base",
+    "available_compressors": "repro.compressors.base",
+    "SZ2": "repro.compressors.sz2",
+    "SZ3": "repro.compressors.sz3",
+    "ZFP": "repro.compressors.zfp",
+    "MGARDPlus": "repro.compressors.mgard",
+    "QoZ": "repro.core.qoz",
+    "psnr": "repro.metrics",
+    "ssim": "repro.metrics",
+    "error_autocorrelation": "repro.metrics",
+    "compression_ratio": "repro.metrics",
+    "bit_rate": "repro.metrics",
+}
+
+__all__ = [
+    "ReproError",
+    "CompressionError",
+    "DecompressionError",
+    "ConfigurationError",
+    "__version__",
+    *sorted(_LAZY),
+]
+
+
+def __getattr__(name):
+    if name in _LAZY:
+        import importlib
+
+        module = importlib.import_module(_LAZY[name])
+        value = getattr(module, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return __all__

@@ -1,0 +1,15 @@
+"""Experiment harness: rate-distortion sweeps, CR-targeted search, reports."""
+
+from repro.analysis.experiment import RatePoint, rate_distortion_curve, evaluate_once
+from repro.analysis.crsearch import find_error_bound_for_cr
+from repro.analysis.report import format_table
+from repro.analysis.visualize import write_pgm
+
+__all__ = [
+    "RatePoint",
+    "rate_distortion_curve",
+    "evaluate_once",
+    "find_error_bound_for_cr",
+    "format_table",
+    "write_pgm",
+]

@@ -1,0 +1,48 @@
+"""Find the error bound that hits a target compression ratio.
+
+Fig. 11 compares codecs at the *same* compression ratio (65 on
+SCALE-LETKF); CR is monotone in the bound, so a bisection on log10(eb)
+converges in a few compressions.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.compressors.base import Compressor
+from repro.metrics import compression_ratio
+
+
+def find_error_bound_for_cr(
+    codec: Compressor,
+    data: np.ndarray,
+    target_cr: float,
+    rel_tol: float = 0.05,
+    lo: float = 1e-6,
+    hi: float = 1e-1,
+    max_iter: int = 18,
+) -> Tuple[float, float, bytes]:
+    """Bisection for the relative bound achieving ``target_cr``.
+
+    Returns ``(rel_eb, achieved_cr, blob)`` for the closest bound found.
+    """
+    llo, lhi = np.log10(lo), np.log10(hi)
+    best = None
+    for _ in range(max_iter):
+        mid = 0.5 * (llo + lhi)
+        rel_eb = float(10.0**mid)
+        blob = codec.compress(data, rel_error_bound=rel_eb)
+        cr = compression_ratio(data, blob)
+        if best is None or abs(np.log(cr / target_cr)) < abs(
+            np.log(best[1] / target_cr)
+        ):
+            best = (rel_eb, cr, blob)
+        if abs(cr - target_cr) <= rel_tol * target_cr:
+            return rel_eb, cr, blob
+        if cr < target_cr:
+            llo = mid  # need a looser bound
+        else:
+            lhi = mid
+    return best

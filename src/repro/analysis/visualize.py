@@ -1,0 +1,22 @@
+"""Dependency-free field visualization (PGM images, Fig. 11 support)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def write_pgm(field: np.ndarray, path: str) -> None:
+    """Save a 2-D field (or a slice of one) as an 8-bit binary PGM image.
+
+    PGM needs no plotting stack, so the visual-quality benchmark can emit
+    comparable snapshots on any machine.
+    """
+    a = np.asarray(field, dtype=np.float64)
+    if a.ndim != 2:
+        raise ValueError(f"write_pgm expects a 2-D array, got {a.ndim}-D")
+    lo, hi = float(a.min()), float(a.max())
+    scale = 255.0 / (hi - lo) if hi > lo else 0.0
+    img = ((a - lo) * scale).astype(np.uint8)
+    header = f"P5\n{a.shape[1]} {a.shape[0]}\n255\n".encode()
+    with open(path, "wb") as f:
+        f.write(header + img.tobytes())

@@ -1,0 +1,25 @@
+"""Error-bounded lossy compressors.
+
+- :mod:`repro.compressors.base` — common API + registry.
+- :mod:`repro.compressors.sz3` — SZ3 (dynamic spline interpolation).
+- :mod:`repro.compressors.sz2` — SZ2.1 (block Lorenzo + linear regression).
+- :mod:`repro.compressors.zfp` — ZFP-like transform codec.
+- :mod:`repro.compressors.mgard` — MGARD+-like multilevel codec.
+
+The QoZ compressor lives in :mod:`repro.core.qoz` (it is the paper's
+contribution, not a baseline) but registers itself here as well.
+"""
+
+from repro.compressors.base import (
+    Compressor,
+    available_compressors,
+    decompress_any,
+    get_compressor,
+)
+
+__all__ = [
+    "Compressor",
+    "available_compressors",
+    "decompress_any",
+    "get_compressor",
+]

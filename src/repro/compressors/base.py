@@ -1,0 +1,114 @@
+"""Common compressor API and registry.
+
+Every codec maps ``ndarray -> bytes`` and back; streams are self-describing
+(:mod:`repro.core.header`), so :func:`decompress_any` can route a blob to
+the codec that produced it.  Subclasses implement ``_compress`` /
+``_decompress`` on float64 views and are guaranteed by the base class that
+inputs are validated and the bound is an absolute one.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional, Type
+
+import numpy as np
+
+from repro.core.header import pack_header, parse_header
+from repro.errors import DecompressionError
+from repro.utils import resolve_error_bound, validate_input
+
+_REGISTRY: Dict[str, Type["Compressor"]] = {}
+_BY_ID: Dict[int, Type["Compressor"]] = {}
+
+
+def register(cls: Type["Compressor"]) -> Type["Compressor"]:
+    """Class decorator adding a codec to the registry."""
+    if cls.name in _REGISTRY or cls.codec_id in _BY_ID:
+        raise ValueError(f"duplicate codec registration: {cls.name}")
+    _REGISTRY[cls.name] = cls
+    _BY_ID[cls.codec_id] = cls
+    return cls
+
+
+def available_compressors() -> List[str]:
+    """Names of all registered codecs."""
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def get_compressor(name: str, **kwargs) -> "Compressor":
+    """Instantiate a codec by name (constructor kwargs pass through)."""
+    _ensure_loaded()
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown compressor {name!r}; have {sorted(_REGISTRY)}")
+    return _REGISTRY[name](**kwargs)
+
+
+def decompress_any(blob: bytes) -> np.ndarray:
+    """Decompress a stream produced by any registered codec."""
+    _ensure_loaded()
+    header, _ = parse_header(blob)
+    if header.codec_id not in _BY_ID:
+        raise DecompressionError(f"unknown codec id {header.codec_id}")
+    return _BY_ID[header.codec_id]().decompress(blob)
+
+
+def _ensure_loaded() -> None:
+    """Import every codec module so registration side effects run."""
+    import repro.compressors.mgard  # noqa: F401
+    import repro.compressors.sz2  # noqa: F401
+    import repro.compressors.sz3  # noqa: F401
+    import repro.compressors.zfp  # noqa: F401
+    import repro.core.qoz  # noqa: F401
+
+
+class Compressor(ABC):
+    """Abstract error-bounded lossy compressor."""
+
+    #: registry name, e.g. ``"sz3"``
+    name: str = "abstract"
+    #: stable stream codec id
+    codec_id: int = -1
+
+    def compress(
+        self,
+        data: np.ndarray,
+        error_bound: Optional[float] = None,
+        rel_error_bound: Optional[float] = None,
+    ) -> bytes:
+        """Compress ``data`` under an absolute or value-range-relative bound.
+
+        The returned stream is self-describing; the point-wise bound
+        ``|x - x'| <= eb`` holds unconditionally on the decompressed array.
+        """
+        data = validate_input(data)
+        eb = resolve_error_bound(data, error_bound, rel_error_bound)
+        payload = self._compress(data, eb)
+        return pack_header(self.codec_id, data.dtype, data.shape, eb) + payload
+
+    def decompress(self, blob: bytes) -> np.ndarray:
+        """Decompress a stream produced by this codec."""
+        header, offset = parse_header(blob)
+        if header.codec_id != self.codec_id:
+            raise DecompressionError(
+                f"stream was written by codec id {header.codec_id}, "
+                f"not {self.name} ({self.codec_id}); use decompress_any()"
+            )
+        recon = self._decompress(blob[offset:], header)
+        return recon.astype(header.dtype)
+
+    @abstractmethod
+    def _compress(self, data: np.ndarray, eb: float) -> bytes:
+        """Codec payload for validated data under an absolute bound."""
+
+    @abstractmethod
+    def _decompress(self, payload: bytes, header) -> np.ndarray:
+        """Reconstruct a float64 array from the codec payload.
+
+        ``header`` is the parsed :class:`repro.core.header.StreamHeader`
+        (shape, dtype, error bound).
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

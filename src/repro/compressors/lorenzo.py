@@ -1,0 +1,106 @@
+"""Wavefront-vectorized first-order Lorenzo prediction.
+
+The Lorenzo predictor estimates each point from its already-reconstructed
+lower-index neighbors (1/3/7-term stencil in 1/2/3-D).  Decompression is
+inherently sequential point-to-point, but points on a constant
+coordinate-sum hyperplane only depend on planes with smaller sums — so we
+sweep *wavefronts*, processing each anti-diagonal hyperplane as one numpy
+gather/scatter (the hpc-parallel guide's "find tricks to avoid for loops"
+applied to a data-dependent recurrence).
+
+All kernels operate on a reconstruction array padded with one layer of
+zeros on the low side of every axis, so border points implicitly predict
+from zero exactly like SZ.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+#: Lorenzo stencil per dimensionality: (offset, sign) pairs
+_STENCILS = {
+    1: [((-1,), 1.0)],
+    2: [((-1, 0), 1.0), ((0, -1), 1.0), ((-1, -1), -1.0)],
+    3: [
+        ((-1, 0, 0), 1.0),
+        ((0, -1, 0), 1.0),
+        ((0, 0, -1), 1.0),
+        ((-1, -1, 0), -1.0),
+        ((-1, 0, -1), -1.0),
+        ((0, -1, -1), -1.0),
+        ((-1, -1, -1), 1.0),
+    ],
+}
+
+
+def lorenzo_stencil(ndim: int) -> List[Tuple[Tuple[int, ...], float]]:
+    """(neighbor offset, inclusion-exclusion sign) pairs for ndim."""
+    if ndim not in _STENCILS:
+        raise ValueError(f"Lorenzo predictor supports 1..3 dims, got {ndim}")
+    return _STENCILS[ndim]
+
+
+def pad_low(recon_shape: Sequence[int]) -> np.ndarray:
+    """Zero array with one guard layer on the low side of each axis."""
+    return np.zeros(tuple(n + 1 for n in recon_shape), dtype=np.float64)
+
+
+def wavefronts(coords: np.ndarray) -> List[np.ndarray]:
+    """Split point coordinates into constant coordinate-sum groups.
+
+    ``coords``: (n, ndim) int array.  Returns a list of (k_i, ndim)
+    arrays ordered by increasing sum; every point in group g depends only
+    on points in groups < g under the Lorenzo stencil.
+    """
+    if coords.size == 0:
+        return []
+    sums = coords.sum(axis=1)
+    order = np.argsort(sums, kind="stable")
+    sorted_coords = coords[order]
+    sorted_sums = sums[order]
+    boundaries = np.flatnonzero(np.diff(sorted_sums)) + 1
+    return np.split(sorted_coords, boundaries)
+
+
+def predict_wavefront(padded: np.ndarray, pts: np.ndarray) -> np.ndarray:
+    """Lorenzo predictions for one wavefront from the padded recon array.
+
+    ``pts`` are coordinates in the *unpadded* frame; the +1 guard shift is
+    applied here.
+    """
+    ndim = pts.shape[1]
+    pred = np.zeros(pts.shape[0], dtype=np.float64)
+    base = [pts[:, d] + 1 for d in range(ndim)]
+    for offset, sign in lorenzo_stencil(ndim):
+        idx = tuple(base[d] + offset[d] for d in range(ndim))
+        pred += sign * padded[idx]
+    return pred
+
+
+def scatter_wavefront(
+    padded: np.ndarray, pts: np.ndarray, values: np.ndarray
+) -> None:
+    """Write reconstructed values for one wavefront into the padded array."""
+    ndim = pts.shape[1]
+    idx = tuple(pts[:, d] + 1 for d in range(ndim))
+    padded[idx] = values
+
+
+def lorenzo_estimate_error(data: np.ndarray) -> np.ndarray:
+    """Per-point |Lorenzo residual| computed from *original* neighbors.
+
+    This is SZ2's cheap selection estimate: it ignores quantization
+    feedback, which is fine for choosing between predictors.
+    """
+    padded = pad_low(data.shape)
+    padded[tuple(slice(1, None) for _ in data.shape)] = data
+    pred = np.zeros_like(data, dtype=np.float64)
+    inner = tuple(slice(1, None) for _ in data.shape)
+    for offset, sign in lorenzo_stencil(data.ndim):
+        sel = tuple(
+            slice(1 + o, padded.shape[d] + o) for d, o in enumerate(offset)
+        )
+        pred += sign * padded[sel]
+    return np.abs(np.asarray(data, dtype=np.float64) - pred)

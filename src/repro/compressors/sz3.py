@@ -1,0 +1,81 @@
+"""SZ3: dynamic spline-interpolation error-bounded compression (Zhao et al.,
+ICDE 2021) — the baseline QoZ extends.
+
+SZ3 uses the multi-level interpolation predictor with a *single*
+interpolator (selected once, globally, from sampled data), a *uniform*
+error bound across levels, and no anchor grid: the interpolation spans the
+whole array from one root point, which is exactly the long-range-
+interpolation weakness QoZ's anchors fix (paper §V-B1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compressors.base import Compressor, register
+from repro.core.engine import InterpPlan, LevelPlan, interp_compress, interp_decompress
+from repro.core.interpolation import METHOD_IDS
+from repro.core.levels import ORDER_FORWARD, max_level_for_shape
+from repro.core.sampling import sample_blocks
+from repro.core.selection import select_global_interpolator
+from repro.core.stream import pack_interp_payload, unpack_interp_payload
+from repro.errors import ConfigurationError
+from repro.quantize.linear import DEFAULT_RADIUS
+
+#: default fraction of points used for interpolator selection
+DEFAULT_SAMPLE_RATE = 0.01
+DEFAULT_SAMPLE_BLOCK = 32
+
+
+@register
+class SZ3(Compressor):
+    """SZ3 baseline (interpolation + linear quantization + Huffman/RLE)."""
+
+    name = "sz3"
+    codec_id = 1
+
+    def __init__(
+        self,
+        method: str = "auto",
+        order_id: int = ORDER_FORWARD,
+        sample_rate: float = DEFAULT_SAMPLE_RATE,
+        sample_block: int = DEFAULT_SAMPLE_BLOCK,
+        radius: int = DEFAULT_RADIUS,
+    ) -> None:
+        """``method``: 'auto' (sampled selection), 'linear' or 'cubic'."""
+        if method != "auto" and method not in METHOD_IDS:
+            raise ConfigurationError(
+                f"method must be 'auto', 'linear' or 'cubic', got {method!r}"
+            )
+        self.method = method
+        self.order_id = order_id
+        self.sample_rate = sample_rate
+        self.sample_block = sample_block
+        self.radius = radius
+
+    def _choose_interpolator(self, data: np.ndarray, eb: float):
+        if self.method != "auto":
+            return METHOD_IDS[self.method], self.order_id
+        blocks, _ = sample_blocks(data, self.sample_block, self.sample_rate)
+        return select_global_interpolator(blocks, eb, self.radius)
+
+    def _compress(self, data: np.ndarray, eb: float) -> bytes:
+        method, order_id = self._choose_interpolator(data, eb)
+        top = max_level_for_shape(data.shape)
+        plan = InterpPlan(
+            levels={
+                l: LevelPlan(eb=eb, method=method, order_id=order_id)
+                for l in range(1, top + 1)
+            },
+            anchor_stride=0,
+            radius=self.radius,
+            cast_dtype=data.dtype,
+        )
+        codes, outliers, known, _work = interp_compress(data, plan)
+        return pack_interp_payload(plan, top, known, codes, outliers, data.dtype)
+
+    def _decompress(self, payload: bytes, header) -> np.ndarray:
+        plan, _top, known, codes, outliers = unpack_interp_payload(
+            payload, header.dtype
+        )
+        return interp_decompress(header.shape, plan, codes, outliers, known)

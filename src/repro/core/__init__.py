@@ -1,0 +1,24 @@
+"""QoZ core: interpolation predictor, level machinery, tuning, compressor.
+
+- :mod:`repro.core.interpolation` — vectorized 1-D spline prediction kernels.
+- :mod:`repro.core.levels` — multi-level grid traversal + anchor geometry.
+- :mod:`repro.core.engine` — the shared interpolation compression engine
+  (used by both SZ3 and QoZ, optionally batched over sampled blocks).
+- :mod:`repro.core.sampling` — uniform block sampling (paper §VI-A).
+- :mod:`repro.core.selection` — level-adapted interpolator selection
+  (paper Algorithm 1).
+- :mod:`repro.core.tuning` — quality-metric-driven (alpha, beta)
+  auto-tuning (paper §VI-C, Table I).
+- :mod:`repro.core.qoz` — the public QoZ compressor.
+
+The QoZ class is importable lazily via ``repro.core.qoz`` (kept out of this
+module's import path so the engine substrates can be used standalone).
+"""
+
+
+def __getattr__(name):
+    if name == "QoZ":
+        from repro.core.qoz import QoZ
+
+        return QoZ
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,218 @@
+"""The shared multi-level interpolation compression engine.
+
+Both SZ3 and QoZ are thin wrappers around :func:`execute_passes`: they
+differ only in the *plan* — per-level error bounds, interpolation method,
+dimension order, and whether an anchor grid caps the level count.  The
+engine also runs in *batched* mode over a stack of sampled blocks, which is
+how QoZ's online selection and tuning evaluate candidate plans cheaply
+(paper §VI) — one vectorized engine run scores every sampled block at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.interpolation import CUBIC, predict_targets
+from repro.core.levels import (
+    ORDER_FORWARD,
+    anchor_slices,
+    dim_order,
+    level_pass_specs,
+    max_level_for_anchor,
+    max_level_for_shape,
+)
+from repro.errors import ConfigurationError
+from repro.quantize.linear import DEFAULT_RADIUS, LinearQuantizer
+
+
+@dataclass(frozen=True)
+class LevelPlan:
+    """Per-level knobs: error bound + interpolator."""
+
+    eb: float
+    method: int = CUBIC
+    order_id: int = ORDER_FORWARD
+
+
+@dataclass
+class InterpPlan:
+    """Complete plan for one interpolation compression run.
+
+    ``levels[l]`` configures level ``l`` (1 = finest).  ``anchor_stride``
+    of 0 means no anchors (SZ3 mode: single root point, level count from
+    the shape).
+    """
+
+    levels: Dict[int, LevelPlan]
+    anchor_stride: int = 0
+    radius: int = DEFAULT_RADIUS
+    cast_dtype: type = np.float64  # dtype delivered to the user (bound check)
+
+    def max_level(self, shape: Sequence[int]) -> int:
+        """Top interpolation level for a shape under this plan."""
+        if self.anchor_stride:
+            return min(
+                max_level_for_anchor(self.anchor_stride), max_level_for_shape(shape)
+            )
+        return max_level_for_shape(shape)
+
+    def level_plan(self, level: int) -> LevelPlan:
+        """Plan for one level; levels above the top reuse the top's."""
+        if level in self.levels:
+            return self.levels[level]
+        # levels above the configured ones reuse the highest configured one
+        top = max(self.levels)
+        if level > top:
+            return self.levels[top]
+        raise ConfigurationError(f"no plan for level {level}")
+
+
+@dataclass
+class PassStats:
+    """Per-level absolute prediction error accumulator (Algorithm 1)."""
+
+    abs_err_sum: Dict[int, float]
+    count: Dict[int, int]
+
+    def __init__(self) -> None:
+        self.abs_err_sum = {}
+        self.count = {}
+
+    def record(self, level: int, abs_errors: np.ndarray) -> None:
+        """Accumulate one pass's |value - prediction| samples."""
+        self.abs_err_sum[level] = self.abs_err_sum.get(level, 0.0) + float(
+            abs_errors.sum()
+        )
+        self.count[level] = self.count.get(level, 0) + abs_errors.size
+
+    def mean_abs_error(self, level: int) -> float:
+        """Mean absolute prediction error observed at a level."""
+        n = self.count.get(level, 0)
+        return self.abs_err_sum.get(level, 0.0) / n if n else 0.0
+
+
+def execute_passes(
+    work: np.ndarray,
+    plan: InterpPlan,
+    quantizer: LinearQuantizer,
+    compress: bool,
+    batch: bool = False,
+    stats: Optional[PassStats] = None,
+    only_level: Optional[int] = None,
+    closed_loop: bool = True,
+) -> None:
+    """Run all prediction passes over ``work`` in place.
+
+    Compression progressively replaces values with their reconstructions
+    (so later passes predict from what the decompressor will see);
+    decompression fills values in from the quantizer's stored streams in
+    the identical order.  With ``batch=True`` the leading axis of ``work``
+    is a stack of independent blocks sharing the same plan.  ``only_level``
+    restricts execution to a single level (selection trials).
+
+    ``closed_loop=False`` (compression only) keeps predicting from the
+    *original* values instead of the reconstructions — the open-loop
+    multilevel decomposition used by the MGARD+ stand-in, where
+    quantization errors are handled by the decomposition's error budget
+    rather than by prediction feedback.
+    """
+    shape = work.shape[1:] if batch else work.shape
+    off = 1 if batch else 0
+    top = plan.max_level(shape)
+    levels = [only_level] if only_level is not None else range(top, 0, -1)
+    for level in levels:
+        lp = plan.level_plan(level)
+        order = dim_order(len(shape), lp.order_id)
+        for spec in level_pass_specs(shape, level, order):
+            sl = ((slice(None),) if batch else ()) + spec.view_slices
+            view = np.moveaxis(work[sl], spec.axis + off, -1)
+            even = view[..., ::2]
+            m = spec.grid_len // 2
+            pred = predict_targets(even, m, lp.method)
+            targets = view[..., 1::2]
+            if compress:
+                values = np.ascontiguousarray(targets)
+                if stats is not None:
+                    stats.record(level, np.abs(values - pred))
+                recon = quantizer.quantize(values, pred, lp.eb)
+                if closed_loop:
+                    targets[...] = recon
+            else:
+                recon = quantizer.dequantize(int(np.prod(pred.shape)), pred, lp.eb)
+                targets[...] = recon
+
+
+def seed_known_points(
+    work: np.ndarray, plan: InterpPlan, batch: bool = False
+) -> np.ndarray:
+    """Extract the losslessly-kept points (anchor grid or root).
+
+    On the compression side ``work`` holds the original data and the
+    returned array is what must be stored; on the decompression side call
+    :func:`plant_known_points` with the stored values instead.
+    """
+    shape = work.shape[1:] if batch else work.shape
+    if plan.anchor_stride:
+        sl = anchor_slices(len(shape), plan.anchor_stride)
+        sl = ((slice(None),) if batch else ()) + sl
+        return work[sl].copy()
+    root = ((slice(None),) if batch else ()) + (0,) * len(shape)
+    return np.atleast_1d(work[root]).copy()
+
+
+def plant_known_points(
+    work: np.ndarray, plan: InterpPlan, values: np.ndarray, batch: bool = False
+) -> None:
+    """Write the losslessly-stored points into a fresh work array."""
+    shape = work.shape[1:] if batch else work.shape
+    if plan.anchor_stride:
+        sl = anchor_slices(len(shape), plan.anchor_stride)
+        sl = ((slice(None),) if batch else ()) + sl
+        work[sl] = values.reshape(work[sl].shape)
+    elif batch:
+        work[(slice(None),) + (0,) * len(shape)] = values.reshape(-1)
+    else:
+        work[(0,) * len(shape)] = float(values.reshape(-1)[0])
+
+
+def interp_compress(
+    data: np.ndarray,
+    plan: InterpPlan,
+    batch: bool = False,
+    stats: Optional[PassStats] = None,
+):
+    """Full compression run.
+
+    Returns ``(codes, outliers, known, work)`` — quantization codes in
+    pass order, exact outlier values, losslessly-kept points, and the
+    reconstruction the decompressor will produce (useful for online
+    metric evaluation without a decompression round-trip).
+    """
+    work = data.astype(np.float64, copy=True)
+    known = seed_known_points(work, plan, batch=batch)
+    quantizer = LinearQuantizer(radius=plan.radius, cast_dtype=plan.cast_dtype)
+    execute_passes(work, plan, quantizer, compress=True, batch=batch, stats=stats)
+    codes, outliers = quantizer.harvest()
+    return codes, outliers, known, work
+
+
+def interp_decompress(
+    shape: Sequence[int],
+    plan: InterpPlan,
+    codes: np.ndarray,
+    outliers: np.ndarray,
+    known: np.ndarray,
+    batch_size: int = 0,
+) -> np.ndarray:
+    """Inverse of :func:`interp_compress`."""
+    full_shape = (batch_size, *shape) if batch_size else tuple(shape)
+    work = np.zeros(full_shape, dtype=np.float64)
+    plant_known_points(work, plan, known, batch=bool(batch_size))
+    quantizer = LinearQuantizer(
+        radius=plan.radius, codes=codes, outliers=outliers
+    )
+    execute_passes(work, plan, quantizer, compress=False, batch=bool(batch_size))
+    return work

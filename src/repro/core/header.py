@@ -1,0 +1,96 @@
+"""Self-describing compressed-stream container.
+
+Every codec's output starts with a fixed header (magic, version, codec id,
+dtype, shape, absolute error bound) followed by length-prefixed sections so
+codecs can store as many sub-streams as they need.  Decompression never
+requires out-of-band information.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DecompressionError
+from repro.utils import dtype_code, dtype_from_code
+
+MAGIC = b"RPZ1"
+VERSION = 1
+_FIXED = struct.Struct("<4sBBBBd")  # magic, version, codec, dtype, ndim, eb
+
+
+@dataclass(frozen=True)
+class StreamHeader:
+    """Parsed fixed header of a compressed stream."""
+
+    codec_id: int
+    dtype: np.dtype
+    shape: Tuple[int, ...]
+    error_bound: float
+
+
+def pack_header(
+    codec_id: int, dtype: np.dtype, shape: Sequence[int], error_bound: float
+) -> bytes:
+    """Serialize the fixed header."""
+    head = _FIXED.pack(
+        MAGIC, VERSION, codec_id, dtype_code(dtype), len(shape), float(error_bound)
+    )
+    dims = struct.pack(f"<{len(shape)}Q", *shape)
+    return head + dims
+
+
+def parse_header(blob: bytes) -> Tuple[StreamHeader, int]:
+    """Parse the fixed header; returns (header, payload offset)."""
+    if len(blob) < _FIXED.size:
+        raise DecompressionError("stream too short for header")
+    magic, version, codec_id, dcode, ndim, eb = _FIXED.unpack_from(blob, 0)
+    if magic != MAGIC:
+        raise DecompressionError("bad magic (not a repro stream)")
+    if version != VERSION:
+        raise DecompressionError(f"unsupported stream version {version}")
+    off = _FIXED.size
+    if len(blob) < off + 8 * ndim:
+        raise DecompressionError("stream truncated in shape header")
+    shape = struct.unpack_from(f"<{ndim}Q", blob, off)
+    off += 8 * ndim
+    return (
+        StreamHeader(
+            codec_id=codec_id,
+            dtype=dtype_from_code(dcode),
+            shape=tuple(int(n) for n in shape),
+            error_bound=float(eb),
+        ),
+        off,
+    )
+
+
+def pack_sections(sections: Sequence[bytes]) -> bytes:
+    """Concatenate byte sections with u64 length prefixes."""
+    parts: List[bytes] = [struct.pack("<I", len(sections))]
+    for s in sections:
+        parts.append(struct.pack("<Q", len(s)))
+        parts.append(s)
+    return b"".join(parts)
+
+
+def unpack_sections(blob: bytes, offset: int = 0) -> List[bytes]:
+    """Inverse of :func:`pack_sections`."""
+    if len(blob) < offset + 4:
+        raise DecompressionError("stream truncated in section table")
+    (count,) = struct.unpack_from("<I", blob, offset)
+    offset += 4
+    sections = []
+    for _ in range(count):
+        if len(blob) < offset + 8:
+            raise DecompressionError("stream truncated in section length")
+        (n,) = struct.unpack_from("<Q", blob, offset)
+        offset += 8
+        if len(blob) < offset + n:
+            raise DecompressionError("stream truncated in section body")
+        sections.append(blob[offset : offset + n])
+        offset += n
+    return sections

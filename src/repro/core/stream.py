@@ -1,0 +1,89 @@
+"""Serialization shared by the interpolation codecs (SZ3 and QoZ).
+
+The payload records everything the decompressor needs to replay the pass
+traversal: anchor stride, quantizer radius, and per-level (method, order,
+error bound); then three data sections — losslessly-coded known points
+(anchors or root), the entropy-coded quantization indices, and the exact
+outlier values.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.engine import InterpPlan, LevelPlan
+from repro.core.header import pack_sections, unpack_sections
+from repro.encoding.bitstream import BitReader, BitWriter
+from repro.encoding.codec import decode_symbol_stream, encode_symbol_stream
+from repro.encoding.lossless import (
+    compress_floats_lossless,
+    decompress_floats_lossless,
+)
+from repro.errors import DecompressionError
+
+
+def _float_bits(x: float) -> int:
+    return int(np.float64(x).view(np.uint64))
+
+
+def _bits_float(u: int) -> float:
+    return float(np.uint64(u).view(np.float64))
+
+
+def pack_interp_payload(
+    plan: InterpPlan,
+    max_level: int,
+    known: np.ndarray,
+    codes: np.ndarray,
+    outliers: np.ndarray,
+    dtype: np.dtype,
+) -> bytes:
+    """Serialize an interpolation compression result."""
+    writer = BitWriter()
+    writer.write_uint(plan.anchor_stride, 32)
+    writer.write_uint(plan.radius, 32)
+    writer.write_uint(max_level, 8)
+    for level in range(1, max_level + 1):
+        lp = plan.level_plan(level)
+        writer.write_uint(lp.method, 1)
+        writer.write_uint(lp.order_id, 1)
+        writer.write_uint(_float_bits(lp.eb), 64)
+    params = writer.getvalue()
+    sections = [
+        params,
+        compress_floats_lossless(known.ravel().astype(dtype)),
+        encode_symbol_stream(codes),
+        compress_floats_lossless(outliers.astype(dtype)),
+    ]
+    return pack_sections(sections)
+
+
+def unpack_interp_payload(
+    payload: bytes, dtype: np.dtype
+) -> Tuple[InterpPlan, int, np.ndarray, np.ndarray, np.ndarray]:
+    """Inverse of :func:`pack_interp_payload`.
+
+    Returns ``(plan, max_level, known, codes, outliers)``.
+    """
+    sections = unpack_sections(payload)
+    if len(sections) != 4:
+        raise DecompressionError("interpolation payload must have 4 sections")
+    reader = BitReader(sections[0])
+    anchor_stride = reader.read_uint(32)
+    radius = reader.read_uint(32)
+    max_level = reader.read_uint(8)
+    levels = {}
+    for level in range(1, max_level + 1):
+        method = reader.read_uint(1)
+        order_id = reader.read_uint(1)
+        eb = _bits_float(reader.read_uint(64))
+        levels[level] = LevelPlan(eb=eb, method=method, order_id=order_id)
+    plan = InterpPlan(
+        levels=levels, anchor_stride=anchor_stride, radius=radius, cast_dtype=dtype
+    )
+    known = decompress_floats_lossless(sections[1]).astype(np.float64)
+    codes = decode_symbol_stream(sections[2])
+    outliers = decompress_floats_lossless(sections[3]).astype(np.float64)
+    return plan, max_level, known, codes, outliers

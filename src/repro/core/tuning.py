@@ -1,0 +1,198 @@
+"""Quality-metric-oriented (alpha, beta) auto-tuning (paper §VI-C).
+
+The level-wise error bound is ``e_l = e / min(alpha**(l-1), beta)``
+(paper Eq. 5).  Candidates are the paper's narrowed grid
+(alpha in {1, 1.25, 1.5, 1.75, 2}, beta in {1.5, 2, 3, 4}).  Each candidate
+is scored by a trial compression over the sampled blocks: estimated bit
+rate (Shannon size of the quantization-bin token stream) plus the value of
+the user's quality metric on the trial reconstruction.  Candidates are
+compared pairwise with the paper's Table I logic; the "sophisticated"
+cases (one candidate wins rate, the other wins quality) are resolved by a
+second trial of the incumbent challenger at 0.8e / 1.2e and a line-side
+test in (bit-rate, metric) space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.engine import InterpPlan, LevelPlan, interp_compress
+from repro.core.selection import SelectionResult
+from repro.encoding.codec import estimate_stream_bits
+from repro.errors import ConfigurationError
+from repro.metrics.autocorr import error_autocorrelation
+from repro.metrics.psnr import psnr
+from repro.metrics.ssim import ssim
+from repro.quantize.linear import DEFAULT_RADIUS
+
+#: paper §VI-C1 candidate grids
+ALPHA_CANDIDATES: Tuple[float, ...] = (1.0, 1.25, 1.5, 1.75, 2.0)
+BETA_CANDIDATES: Tuple[float, ...] = (1.5, 2.0, 3.0, 4.0)
+
+#: supported tuning targets; 'cr' = maximize compression ratio only
+TUNING_METRICS = ("cr", "psnr", "ssim", "ac")
+
+
+def level_error_bounds(
+    eb: float, alpha: float, beta: float, max_level: int
+) -> Dict[int, float]:
+    """Paper Eq. 5: ``e_l = e / min(alpha**(l-1), beta)`` for each level."""
+    if alpha < 1.0 or beta < 1.0:
+        raise ConfigurationError("alpha and beta must be >= 1")
+    return {
+        l: eb / min(alpha ** (l - 1), beta) if l > 1 else eb
+        for l in range(1, max_level + 1)
+    }
+
+
+def build_plan(
+    eb: float,
+    alpha: float,
+    beta: float,
+    selection: SelectionResult,
+    max_level: int,
+    anchor_stride: int,
+    radius: int = DEFAULT_RADIUS,
+) -> InterpPlan:
+    """Assemble a complete engine plan from tuned knobs."""
+    ebs = level_error_bounds(eb, alpha, beta, max_level)
+    levels = {}
+    for l in range(1, max_level + 1):
+        method, order_id = selection.interpolator(l)
+        levels[l] = LevelPlan(eb=ebs[l], method=method, order_id=order_id)
+    return InterpPlan(levels=levels, anchor_stride=anchor_stride, radius=radius)
+
+
+@dataclass
+class TrialResult:
+    """(bit rate, metric) of one candidate on the sampled blocks."""
+
+    alpha: float
+    beta: float
+    bit_rate: float
+    metric: Optional[float]  # higher is better; None in 'cr' mode
+
+
+@dataclass
+class TuningOutcome:
+    """Winner plus the full trace of candidate evaluations."""
+
+    alpha: float
+    beta: float
+    trials: List[TrialResult] = field(default_factory=list)
+    extra_trials: int = 0  # sophisticated-case re-compressions
+
+
+def _evaluate_candidate(
+    blocks: np.ndarray,
+    eb: float,
+    alpha: float,
+    beta: float,
+    selection: SelectionResult,
+    max_level: int,
+    metric: str,
+    data_range: float,
+    radius: int,
+) -> TrialResult:
+    """Trial-compress the sampled blocks and score (bit rate, metric)."""
+    plan = build_plan(eb, alpha, beta, selection, max_level, 0, radius)
+    codes, outliers, _known, work = interp_compress(blocks, plan, batch=True)
+    bits = estimate_stream_bits(codes) + 64.0 * outliers.size
+    rate = bits / blocks.size
+    value: Optional[float] = None
+    if metric == "psnr":
+        value = psnr_with_range(blocks, work, data_range)
+    elif metric == "ssim":
+        value = ssim(blocks, work, data_range=data_range, batch=True)
+    elif metric == "ac":
+        value = -abs(error_autocorrelation(blocks, work))
+    return TrialResult(alpha=alpha, beta=beta, bit_rate=rate, metric=value)
+
+
+def psnr_with_range(original, reconstructed, data_range: float) -> float:
+    """PSNR against an externally-supplied value range (the full dataset's,
+    not the sampled blocks')."""
+    if data_range == 0.0:
+        return float("inf")
+    m = np.mean(
+        (np.asarray(original, np.float64) - np.asarray(reconstructed, np.float64))
+        ** 2
+    )
+    if m == 0.0:
+        return float("inf")
+    return float(20.0 * np.log10(data_range / np.sqrt(m)))
+
+
+def _line_side_compare(
+    incumbent: TrialResult,
+    challenger: TrialResult,
+    challenger_retrial: TrialResult,
+) -> bool:
+    """Table I cases 3/4: True when the challenger wins.
+
+    The challenger's two results define a line in (bit-rate, metric)
+    space; the incumbent loses if its point lies below that line
+    (worse metric for its rate than the challenger's trade-off curve).
+    """
+    b1, m1 = incumbent.bit_rate, incumbent.metric
+    b2, m2 = challenger.bit_rate, challenger.metric
+    b3, m3 = challenger_retrial.bit_rate, challenger_retrial.metric
+    if b3 == b2:
+        return m2 > m1  # degenerate line: fall back to metric comparison
+    slope = (m3 - m2) / (b3 - b2)
+    m_line = m2 + slope * (b1 - b2)
+    return m1 < m_line
+
+
+def tune_parameters(
+    blocks: np.ndarray,
+    eb: float,
+    selection: SelectionResult,
+    max_level: int,
+    metric: str = "cr",
+    data_range: float = 1.0,
+    radius: int = DEFAULT_RADIUS,
+    alphas: Tuple[float, ...] = ALPHA_CANDIDATES,
+    betas: Tuple[float, ...] = BETA_CANDIDATES,
+) -> TuningOutcome:
+    """Pick (alpha, beta) for the user's quality metric (paper Table I)."""
+    if metric not in TUNING_METRICS:
+        raise ConfigurationError(
+            f"metric must be one of {TUNING_METRICS}, got {metric!r}"
+        )
+    outcome = TuningOutcome(alpha=1.0, beta=1.0)
+    best: Optional[TrialResult] = None
+    for alpha in alphas:
+        for beta in betas:
+            trial = _evaluate_candidate(
+                blocks, eb, alpha, beta, selection, max_level, metric,
+                data_range, radius,
+            )
+            outcome.trials.append(trial)
+            if best is None:
+                best = trial
+                continue
+            if metric == "cr":
+                if trial.bit_rate < best.bit_rate:
+                    best = trial
+                continue
+            # Table I comparison: I = best (incumbent), II = trial
+            if trial.bit_rate <= best.bit_rate and trial.metric >= best.metric:
+                best = trial  # case 2 (from II's perspective): II dominates
+            elif trial.bit_rate >= best.bit_rate and trial.metric <= best.metric:
+                pass  # case 1: incumbent dominates
+            else:
+                # cases 3/4: re-trial the challenger at a shifted bound
+                eb2 = 0.8 * eb if best.metric > trial.metric else 1.2 * eb
+                retrial = _evaluate_candidate(
+                    blocks, eb2, trial.alpha, trial.beta, selection,
+                    max_level, metric, data_range, radius,
+                )
+                outcome.extra_trials += 1
+                if _line_side_compare(best, trial, retrial):
+                    best = trial
+    outcome.alpha, outcome.beta = best.alpha, best.beta
+    return outcome

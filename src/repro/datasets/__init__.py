@@ -1,0 +1,35 @@
+"""Synthetic stand-ins for the paper's six SDRBench application datasets.
+
+The real datasets (CESM-ATM, Miranda, NYX, Hurricane-Isabel, SCALE-LETKF,
+RTM; up to 635 GB) are not redistributable here, so each generator
+synthesizes a field with the compressibility-relevant structure of its
+application: spectral slope (local smoothness), dynamic-range distribution,
+regional heterogeneity, and dimensionality.  See DESIGN.md §3 for the
+substitution argument.  All generators are seeded and deterministic.
+"""
+
+from repro.datasets.spectral import gaussian_random_field
+from repro.datasets.wave import WaveSimulator
+from repro.datasets.fields import (
+    cesm_like,
+    hurricane_like,
+    miranda_like,
+    nyx_like,
+    rtm_like,
+    scale_letkf_like,
+)
+from repro.datasets.registry import DATASETS, get_dataset, dataset_names
+
+__all__ = [
+    "gaussian_random_field",
+    "WaveSimulator",
+    "cesm_like",
+    "miranda_like",
+    "nyx_like",
+    "hurricane_like",
+    "scale_letkf_like",
+    "rtm_like",
+    "DATASETS",
+    "get_dataset",
+    "dataset_names",
+]

@@ -1,0 +1,132 @@
+"""Application-like field generators (one per paper dataset).
+
+Default shapes are laptop-scale stand-ins for the SDRBench fields (which
+range up to 449x449x235 per field); every generator accepts a ``shape``
+override, so the benchmarks can be scaled up on bigger machines.  All
+fields are float32, matching the paper's datasets.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.datasets.spectral import gaussian_random_field
+from repro.datasets.wave import WaveSimulator
+
+
+def cesm_like(
+    shape: Optional[Sequence[int]] = None, seed: int = 0
+) -> np.ndarray:
+    """2-D climate field (CESM-ATM stand-in).
+
+    Multi-scale atmospheric structure: a strong zonal (latitude) gradient,
+    a moderately rough spectral component, and a sharp front band —
+    cloud-fraction-like fields mix smooth regions with discontinuities.
+    """
+    shape = tuple(shape) if shape else (450, 900)
+    ny, nx = shape
+    lat = np.linspace(-1.0, 1.0, ny)[:, None]
+    base = 1.2 * (1.0 - lat * lat)  # warm equator, cold poles
+    turb = 0.45 * gaussian_random_field(shape, slope=3.2, seed=seed)
+    front = 0.5 * np.tanh(
+        12.0 * (0.25 - np.abs(lat + 0.15 * np.sin(
+            np.linspace(0, 4 * np.pi, nx)[None, :])))
+    )
+    return (base + turb + front).astype(np.float32)
+
+
+def miranda_like(
+    shape: Optional[Sequence[int]] = None, seed: int = 0
+) -> np.ndarray:
+    """3-D turbulent-mixing field (Miranda stand-in).
+
+    Miranda's radiation-hydrodynamics fields are extremely smooth (the
+    paper's highest compression ratios): a steep spectrum plus a smooth
+    density interface between two mixing layers.
+    """
+    shape = tuple(shape) if shape else (64, 96, 96)
+    nz = shape[0]
+    depth = np.linspace(-1.0, 1.0, nz).reshape((-1,) + (1,) * (len(shape) - 1))
+    interface = np.tanh(
+        6.0 * (depth + 0.15 * gaussian_random_field(shape, slope=7.0, seed=seed))
+    )
+    smooth = 0.2 * gaussian_random_field(shape, slope=7.0, seed=seed + 1)
+    return (1.5 + interface + smooth).astype(np.float32)
+
+
+def nyx_like(
+    shape: Optional[Sequence[int]] = None, seed: int = 0
+) -> np.ndarray:
+    """3-D cosmological baryon density (NYX stand-in).
+
+    Log-normal density with a huge dynamic range and filamentary
+    concentration — the paper's hardest dataset (lowest ratios).
+    """
+    shape = tuple(shape) if shape else (96, 96, 96)
+    g = gaussian_random_field(shape, slope=3.0, seed=seed)
+    return np.exp(1.5 * g).astype(np.float32)
+
+
+def hurricane_like(
+    shape: Optional[Sequence[int]] = None, seed: int = 0
+) -> np.ndarray:
+    """3-D storm wind-speed field (Hurricane-Isabel stand-in).
+
+    A strong axisymmetric vortex whose core drifts with height, over
+    moderately rough large-scale flow.
+    """
+    shape = tuple(shape) if shape else (32, 96, 96)
+    nz, ny, nx = shape
+    z = np.linspace(0.0, 1.0, nz)[:, None, None]
+    y = np.linspace(-1.0, 1.0, ny)[None, :, None]
+    x = np.linspace(-1.0, 1.0, nx)[None, None, :]
+    cx = 0.25 * np.cos(2.5 * z)
+    cy = 0.25 * np.sin(2.5 * z)
+    r2 = (x - cx) ** 2 + (y - cy) ** 2
+    rmax2 = 0.05
+    speed = 55.0 * np.sqrt(r2 / rmax2) * np.exp(0.5 * (1.0 - r2 / rmax2))
+    ambient = 5.0 * gaussian_random_field(shape, slope=4.0, seed=seed)
+    decay = 1.0 - 0.5 * z
+    return (speed * decay + ambient).astype(np.float32)
+
+
+def scale_letkf_like(
+    shape: Optional[Sequence[int]] = None, seed: int = 0
+) -> np.ndarray:
+    """3-D regional-weather state (SCALE-LETKF stand-in).
+
+    Thin vertical extent with strongly layered structure plus horizontal
+    mesoscale variability (the dataset is 98x1200x1200 in the paper).
+    """
+    shape = tuple(shape) if shape else (24, 160, 160)
+    nz = shape[0]
+    z = np.linspace(0.0, 1.0, nz).reshape((-1, 1, 1))
+    profile = 300.0 * np.exp(-1.6 * z)  # pressure/temperature-like decay
+    horizontal = 8.0 * gaussian_random_field(shape, slope=4.0, seed=seed)
+    shear = 5.0 * np.sin(3.0 * np.pi * z)
+    return (profile + horizontal * (0.4 + z) + shear).astype(np.float32)
+
+
+def rtm_like(
+    shape: Optional[Sequence[int]] = None,
+    seed: int = 0,
+    steps: Optional[int] = None,
+) -> np.ndarray:
+    """3-D seismic wavefield snapshot (RTM stand-in).
+
+    Runs the FD acoustic solver long enough for the wavefront to span
+    roughly half the domain: smooth oscillatory fronts over a quiescent
+    background, which is why RTM compresses by factors of hundreds.
+    """
+    shape = tuple(shape) if shape else (64, 80, 80)
+    sim = WaveSimulator(shape, seed=seed)
+    if steps is None:
+        steps = int(0.6 * max(shape))
+    sim.step(steps)
+    snap = sim.snapshot(dtype=np.float64)
+    peak = np.abs(snap).max()
+    if peak > 0:
+        snap = snap / peak
+    return snap.astype(np.float32)

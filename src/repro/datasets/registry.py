@@ -1,0 +1,43 @@
+"""Dataset registry mapping the paper's application names to generators."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.datasets import fields
+
+#: paper dataset name -> (generator, domain, ndim)
+DATASETS: Dict[str, Callable] = {
+    "rtm": fields.rtm_like,
+    "miranda": fields.miranda_like,
+    "cesm": fields.cesm_like,
+    "scale": fields.scale_letkf_like,
+    "nyx": fields.nyx_like,
+    "hurricane": fields.hurricane_like,
+}
+
+#: human-readable labels used by the benchmark tables
+LABELS = {
+    "rtm": "RTM (seismic wave)",
+    "miranda": "Miranda (turbulence)",
+    "cesm": "CESM-ATM (climate 2D)",
+    "scale": "SCALE-LETKF (weather)",
+    "nyx": "NYX (cosmology)",
+    "hurricane": "Hurricane (weather)",
+}
+
+
+def dataset_names():
+    """Names in the paper's Table II/III order."""
+    return list(DATASETS)
+
+
+def get_dataset(
+    name: str, shape: Optional[Sequence[int]] = None, seed: int = 0
+) -> np.ndarray:
+    """Generate a dataset stand-in by paper name."""
+    if name not in DATASETS:
+        raise KeyError(f"unknown dataset {name!r}; have {sorted(DATASETS)}")
+    return DATASETS[name](shape=shape, seed=seed)

@@ -1,0 +1,42 @@
+"""Entropy-coding substrates shared by every compressor in the package.
+
+Layout:
+
+- :mod:`repro.encoding.bitstream` — vectorized bit-level writer/reader.
+- :mod:`repro.encoding.huffman` — canonical Huffman coder (length-limited).
+- :mod:`repro.encoding.rle` — zero-run tokenizer (the zstd-stage stand-in).
+- :mod:`repro.encoding.lossless` — lossless float coder (xor-delta +
+  byte-shuffle + Huffman) used for anchor points.
+- :mod:`repro.encoding.codec` — the composed symbol-stream codec used for
+  quantization indices (remap -> RLE -> Huffman) plus a fast size estimator.
+"""
+
+from repro.encoding.bitstream import BitWriter, BitReader
+from repro.encoding.huffman import HuffmanCode
+from repro.encoding.rle import tokenize_runs, detokenize_runs
+from repro.encoding.lossless import (
+    compress_floats_lossless,
+    decompress_floats_lossless,
+    compress_bytes,
+    decompress_bytes,
+)
+from repro.encoding.codec import (
+    encode_symbol_stream,
+    decode_symbol_stream,
+    estimate_stream_bits,
+)
+
+__all__ = [
+    "BitWriter",
+    "BitReader",
+    "HuffmanCode",
+    "tokenize_runs",
+    "detokenize_runs",
+    "compress_floats_lossless",
+    "decompress_floats_lossless",
+    "compress_bytes",
+    "decompress_bytes",
+    "encode_symbol_stream",
+    "decode_symbol_stream",
+    "estimate_stream_bits",
+]

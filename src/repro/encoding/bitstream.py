@@ -1,0 +1,166 @@
+"""Vectorized bit-level I/O.
+
+The writer accumulates (value, nbits) chunks and expands them into a packed
+byte buffer in one numpy pass at flush time; the reader unpacks the whole
+buffer to a bit array once and serves scalar and vectorized reads from it.
+Bits are MSB-first within each value and within each byte, so streams are
+byte-order independent and diffable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import DecompressionError
+
+_MAX_BITS = 64
+
+
+class BitWriter:
+    """Accumulate values with explicit bit widths; emit packed bytes."""
+
+    def __init__(self) -> None:
+        self._values: List[np.ndarray] = []
+        self._lengths: List[np.ndarray] = []
+        self._total_bits = 0
+
+    @property
+    def bit_length(self) -> int:
+        """Number of bits written so far."""
+        return self._total_bits
+
+    def write_uint(self, value: int, nbits: int) -> None:
+        """Write a single unsigned integer using ``nbits`` bits (0..64)."""
+        if nbits == 0:
+            return
+        if not 0 < nbits <= _MAX_BITS:
+            raise ValueError(f"nbits must be in 1..{_MAX_BITS}, got {nbits}")
+        value = int(value)
+        if value < 0 or (nbits < 64 and value >> nbits):
+            raise ValueError(f"value {value} does not fit in {nbits} bits")
+        self._values.append(np.array([value], dtype=np.uint64))
+        self._lengths.append(np.array([nbits], dtype=np.uint8))
+        self._total_bits += nbits
+
+    def write_array(self, values: np.ndarray, nbits) -> None:
+        """Write many unsigned integers.
+
+        ``nbits`` may be a scalar (same width for all) or a per-element
+        uint8 array.  Elements with width 0 contribute nothing.
+        """
+        values = np.ascontiguousarray(values, dtype=np.uint64)
+        if np.isscalar(nbits) or getattr(nbits, "ndim", 1) == 0:
+            w = int(nbits)
+            if w == 0 or values.size == 0:
+                return
+            lengths = np.full(values.shape, w, dtype=np.uint8)
+        else:
+            lengths = np.ascontiguousarray(nbits, dtype=np.uint8)
+            if lengths.shape != values.shape:
+                raise ValueError("values/nbits shape mismatch")
+            if values.size == 0:
+                return
+        self._values.append(values.ravel())
+        self._lengths.append(lengths.ravel())
+        self._total_bits += int(lengths.sum(dtype=np.int64))
+
+    def getvalue(self) -> bytes:
+        """Pack everything written so far into bytes (zero-padded tail)."""
+        if self._total_bits == 0:
+            return b""
+        values = np.concatenate(self._values)
+        lengths = np.concatenate(self._lengths).astype(np.int64)
+        total = int(lengths.sum())
+        # position of the first bit of each value in the output stream
+        ends = np.cumsum(lengths)
+        starts = ends - lengths
+        # per-output-bit index of the source value and the in-value offset
+        src = np.repeat(np.arange(values.size, dtype=np.int64), lengths)
+        offs = np.arange(total, dtype=np.int64) - np.repeat(starts, lengths)
+        shift = (np.repeat(lengths, lengths) - 1 - offs).astype(np.uint64)
+        bits = ((values[src] >> shift) & np.uint64(1)).astype(np.uint8)
+        return np.packbits(bits).tobytes()
+
+
+class BitReader:
+    """Serve scalar/vector reads from a packed MSB-first bit buffer."""
+
+    def __init__(self, data: bytes, bit_length: int | None = None) -> None:
+        buf = np.frombuffer(data, dtype=np.uint8)
+        self._bits = np.unpackbits(buf)
+        if bit_length is not None:
+            if bit_length > self._bits.size:
+                raise DecompressionError("bit stream shorter than declared length")
+            self._bits = self._bits[:bit_length]
+        self._pos = 0
+
+    @property
+    def position(self) -> int:
+        """Current bit offset."""
+        return self._pos
+
+    @property
+    def remaining(self) -> int:
+        """Bits left to read."""
+        return self._bits.size - self._pos
+
+    def read_uint(self, nbits: int) -> int:
+        """Read one unsigned integer of ``nbits`` bits."""
+        if nbits == 0:
+            return 0
+        if nbits > self.remaining:
+            raise DecompressionError("bit stream exhausted")
+        chunk = self._bits[self._pos : self._pos + nbits]
+        self._pos += nbits
+        out = 0
+        for b in chunk:
+            out = (out << 1) | int(b)
+        return out
+
+    def read_array(self, count: int, nbits: int) -> np.ndarray:
+        """Read ``count`` fixed-width unsigned integers (vectorized)."""
+        if count == 0:
+            return np.zeros(0, dtype=np.uint64)
+        if nbits == 0:
+            return np.zeros(count, dtype=np.uint64)
+        need = count * nbits
+        if need > self.remaining:
+            raise DecompressionError("bit stream exhausted")
+        chunk = self._bits[self._pos : self._pos + need]
+        self._pos += need
+        mat = chunk.reshape(count, nbits).astype(np.uint64)
+        weights = (np.uint64(1) << np.arange(nbits - 1, -1, -1, dtype=np.uint64))
+        return mat @ weights
+
+    def read_varwidth_array(self, widths: np.ndarray) -> np.ndarray:
+        """Read integers with per-element widths (uint8 array, 0 allowed)."""
+        widths = np.asarray(widths, dtype=np.int64)
+        total = int(widths.sum())
+        if total > self.remaining:
+            raise DecompressionError("bit stream exhausted")
+        if widths.size == 0:
+            return np.zeros(0, dtype=np.uint64)
+        chunk = self._bits[self._pos : self._pos + total].astype(np.uint64)
+        self._pos += total
+        out = np.zeros(widths.size, dtype=np.uint64)
+        if total == 0:
+            return out
+        ends = np.cumsum(widths)
+        starts = ends - widths
+        src = np.repeat(np.arange(widths.size, dtype=np.int64), widths)
+        offs = np.arange(total, dtype=np.int64) - np.repeat(starts, widths)
+        shift = (np.repeat(widths, widths) - 1 - offs).astype(np.uint64)
+        np.add.at(out, src, chunk << shift)
+        return out
+
+    def bits_view(self) -> Tuple[np.ndarray, int]:
+        """Expose the raw bit array and current position (Huffman decoder)."""
+        return self._bits, self._pos
+
+    def advance(self, nbits: int) -> None:
+        """Skip ``nbits`` bits (used together with :meth:`bits_view`)."""
+        if nbits > self.remaining:
+            raise DecompressionError("bit stream exhausted")
+        self._pos += nbits

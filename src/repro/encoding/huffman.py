@@ -1,0 +1,263 @@
+"""Canonical, length-limited Huffman coding over a dense integer alphabet.
+
+Encoding is fully vectorized (table lookup + :class:`BitWriter`).  Decoding
+uses a first-level lookup table over 16-bit windows built from the packed
+stream, with a canonical bit-by-bit fallback for longer codes; this keeps the
+per-symbol Python loop tiny (the only non-vectorized hot loop in the
+package, as noted in DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+import numpy as np
+
+from repro.encoding.bitstream import BitReader, BitWriter
+from repro.errors import DecompressionError
+
+#: longest admissible code; 32 keeps codes in uint64 math comfortably
+MAX_CODE_LENGTH = 32
+#: first-level decode table width
+_TABLE_BITS = 16
+_ESCAPE = 255
+
+
+def _tree_lengths(freqs: np.ndarray) -> np.ndarray:
+    """Code length per symbol from a frequency table (0 for absent symbols)."""
+    nz = np.flatnonzero(freqs)
+    lengths = np.zeros(freqs.size, dtype=np.uint8)
+    if nz.size == 0:
+        return lengths
+    if nz.size == 1:
+        lengths[nz[0]] = 1
+        return lengths
+    # heap items: (weight, tiebreak, leaf_symbols)
+    heap = [(int(freqs[s]), int(s), [int(s)]) for s in nz]
+    heapq.heapify(heap)
+    tick = int(freqs.size)
+    depth = {int(s): 0 for s in nz}
+    while len(heap) > 1:
+        w1, _, l1 = heapq.heappop(heap)
+        w2, _, l2 = heapq.heappop(heap)
+        for s in l1:
+            depth[s] += 1
+        for s in l2:
+            depth[s] += 1
+        tick += 1
+        heapq.heappush(heap, (w1 + w2, tick, l1 + l2))
+    for s, d in depth.items():
+        lengths[s] = d
+    return lengths
+
+
+def _build_lengths(freqs: np.ndarray) -> np.ndarray:
+    """Length-limited code lengths: flatten the histogram until it fits."""
+    freqs = freqs.astype(np.int64, copy=True)
+    while True:
+        lengths = _tree_lengths(freqs)
+        if lengths.max(initial=0) <= MAX_CODE_LENGTH:
+            return lengths
+        nz = freqs > 0
+        freqs[nz] = (freqs[nz] + 1) // 2
+
+
+def _canonical_codes(lengths: np.ndarray) -> np.ndarray:
+    """Assign canonical codes ordered by (length, symbol)."""
+    codes = np.zeros(lengths.size, dtype=np.uint64)
+    order = np.lexsort((np.arange(lengths.size), lengths))
+    order = order[lengths[order] > 0]
+    code = 0
+    prev_len = 0
+    for sym in order:
+        ln = int(lengths[sym])
+        code <<= ln - prev_len
+        codes[sym] = code
+        code += 1
+        prev_len = ln
+    return codes
+
+
+class HuffmanCode:
+    """A canonical Huffman code over symbols ``0..alphabet_size-1``."""
+
+    def __init__(self, lengths: np.ndarray):
+        self.lengths = np.asarray(lengths, dtype=np.uint8)
+        self.codes = _canonical_codes(self.lengths)
+        self._decode_table: Optional[tuple] = None
+
+    # ------------------------------------------------------------------ build
+    @classmethod
+    def from_frequencies(cls, freqs: np.ndarray) -> "HuffmanCode":
+        """Build a code from a dense frequency table."""
+        return cls(_build_lengths(np.asarray(freqs, dtype=np.int64)))
+
+    @classmethod
+    def from_symbols(cls, symbols: np.ndarray, alphabet_size: int) -> "HuffmanCode":
+        """Build a code from observed symbols."""
+        freqs = np.bincount(symbols, minlength=alphabet_size)
+        return cls.from_frequencies(freqs)
+
+    @property
+    def alphabet_size(self) -> int:
+        """Number of symbols the code covers (incl. zero-length ones)."""
+        return int(self.lengths.size)
+
+    def encoded_bit_count(self, freqs: np.ndarray) -> int:
+        """Exact payload size in bits for symbols with the given histogram."""
+        n = min(freqs.size, self.lengths.size)
+        return int(
+            (freqs[:n].astype(np.int64) * self.lengths[:n].astype(np.int64)).sum()
+        )
+
+    # ----------------------------------------------------------------- encode
+    def encode(self, symbols: np.ndarray, writer: BitWriter) -> None:
+        """Append the codes of ``symbols`` to ``writer`` (vectorized)."""
+        symbols = np.asarray(symbols)
+        if symbols.size == 0:
+            return
+        lens = self.lengths[symbols]
+        if (lens == 0).any():
+            raise ValueError("attempt to encode a symbol with no code")
+        writer.write_array(self.codes[symbols], lens)
+
+    # ----------------------------------------------------------------- decode
+    def _ensure_decode_table(self):
+        if self._decode_table is not None:
+            return self._decode_table
+        lengths = self.lengths
+        maxlen = int(lengths.max(initial=0))
+        t = min(maxlen, _TABLE_BITS) if maxlen else 1
+        size = 1 << t
+        table_sym = np.zeros(size, dtype=np.int64)
+        table_len = np.full(size, _ESCAPE, dtype=np.uint8)
+        syms = np.flatnonzero(lengths)
+        short = syms[lengths[syms] <= t]
+        if short.size:
+            lens_s = lengths[short].astype(np.int64)
+            reps = np.int64(1) << (t - lens_s)
+            starts = (self.codes[short].astype(np.int64)) << (t - lens_s)
+            order = np.argsort(starts, kind="stable")
+            table_sym = np.repeat(short[order].astype(np.int64), reps[order])
+            table_len = np.repeat(lengths[short][order], reps[order])
+            if table_sym.size != size:  # gaps only if long codes exist
+                full_sym = np.zeros(size, dtype=np.int64)
+                full_len = np.full(size, _ESCAPE, dtype=np.uint8)
+                pos = starts[order]
+                idx = np.repeat(pos, reps[order]) + _ragged_offsets(reps[order])
+                full_sym[idx] = table_sym
+                full_len[idx] = table_len
+                table_sym, table_len = full_sym, full_len
+        # canonical fallback arrays for codes longer than t
+        first_code = np.zeros(maxlen + 2, dtype=np.int64)
+        count = np.bincount(lengths[syms], minlength=maxlen + 2).astype(np.int64)
+        index = np.zeros(maxlen + 2, dtype=np.int64)
+        code = 0
+        total = 0
+        for ln in range(1, maxlen + 1):
+            code <<= 1
+            first_code[ln] = code
+            index[ln] = total
+            code += count[ln]
+            total += count[ln]
+        sorted_syms = syms[np.lexsort((syms, lengths[syms]))]
+        self._decode_table = (
+            t,
+            table_sym.tolist(),
+            table_len.tolist(),
+            maxlen,
+            first_code.tolist(),
+            count.tolist(),
+            index.tolist(),
+            sorted_syms.tolist(),
+        )
+        return self._decode_table
+
+    def decode(self, reader: BitReader, count: int) -> np.ndarray:
+        """Decode ``count`` symbols from ``reader``."""
+        if count == 0:
+            return np.zeros(0, dtype=np.int64)
+        (t, table_sym, table_len, maxlen, first_code, length_count, index,
+         sorted_syms) = self._ensure_decode_table()
+        bits, pos = reader.bits_view()
+        # 32-bit big-endian windows at every byte offset (padded tail)
+        packed = np.packbits(bits)
+        pad = np.zeros(8, dtype=np.uint8)
+        b = np.concatenate([packed, pad]).astype(np.uint32)
+        w32 = ((b[:-3] << 24) | (b[1:-2] << 16) | (b[2:-1] << 8) | b[3:]).tolist()
+        mask = (1 << t) - 1
+        shift_base = 32 - t
+        out = [0] * count
+        bl = bits.tolist() if maxlen > t else None
+        nbits_total = bits.size
+        for i in range(count):
+            key = (w32[pos >> 3] >> (shift_base - (pos & 7))) & mask
+            ln = table_len[key]
+            if ln != _ESCAPE:
+                out[i] = table_sym[key]
+                pos += ln
+            else:
+                # canonical walk for long codes
+                code = 0
+                ln = 0
+                p = pos
+                while True:
+                    if p >= nbits_total:
+                        raise DecompressionError("huffman stream exhausted")
+                    code = (code << 1) | bl[p]
+                    p += 1
+                    ln += 1
+                    if ln > maxlen:
+                        raise DecompressionError("invalid huffman code")
+                    off = code - first_code[ln]
+                    if 0 <= off < length_count[ln]:
+                        out[i] = sorted_syms[index[ln] + off]
+                        pos = p
+                        break
+        if pos > nbits_total:
+            raise DecompressionError("huffman stream exhausted")
+        reader.advance(pos - reader.position)
+        return np.asarray(out, dtype=np.int64)
+
+    # -------------------------------------------------------------- serialize
+    def serialize(self, writer: BitWriter) -> None:
+        """Write the code table (lengths only; codes are canonical)."""
+        lengths = self.lengths
+        writer.write_uint(lengths.size, 32)
+        nz = np.flatnonzero(lengths)
+        writer.write_uint(nz.size, 32)
+        dense = nz.size * 38 >= lengths.size * 6
+        writer.write_uint(1 if dense else 0, 1)
+        if dense:
+            writer.write_array(lengths.astype(np.uint64), 6)
+        else:
+            writer.write_array(nz.astype(np.uint64), 32)
+            writer.write_array(lengths[nz].astype(np.uint64), 6)
+
+    @classmethod
+    def deserialize(cls, reader: BitReader) -> "HuffmanCode":
+        """Read a code table written by :meth:`serialize`."""
+        size = reader.read_uint(32)
+        nnz = reader.read_uint(32)
+        dense = reader.read_uint(1)
+        lengths = np.zeros(size, dtype=np.uint8)
+        if dense:
+            lengths[:] = reader.read_array(size, 6).astype(np.uint8)
+        else:
+            syms = reader.read_array(nnz, 32).astype(np.int64)
+            lens = reader.read_array(nnz, 6).astype(np.uint8)
+            if nnz and syms.max(initial=0) >= size:
+                raise DecompressionError("corrupt huffman table")
+            lengths[syms] = lens
+        if (lengths > MAX_CODE_LENGTH).any():
+            raise DecompressionError("corrupt huffman table (length overflow)")
+        return cls(lengths)
+
+
+def _ragged_offsets(reps: np.ndarray) -> np.ndarray:
+    """[0..reps[0]), [0..reps[1]), ... concatenated."""
+    total = int(reps.sum())
+    ends = np.cumsum(reps)
+    starts = ends - reps
+    return np.arange(total, dtype=np.int64) - np.repeat(starts, reps)

@@ -1,0 +1,94 @@
+"""Zero-run tokenizer — the stand-in for SZ's zstd "dictionary" stage.
+
+On quantization-index streams nearly all of zstd's gain over plain Huffman
+comes from long runs of the dominant (perfect-prediction) bin.  We capture
+exactly that effect with deflate-style run tokens: a run of the dominant
+symbol with length ``L`` becomes token ``base + k`` where ``k = floor(log2
+L)``, plus ``k`` extra bits storing ``L - 2**k``.  Every other symbol passes
+through as a literal token.  The transform is fully vectorized both ways.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import DecompressionError
+
+#: number of run-length classes (supports runs up to 2**63 - 1)
+RUN_CLASSES = 64
+
+
+def _floor_log2(x: np.ndarray) -> np.ndarray:
+    """Exact floor(log2(x)) for positive int64 values."""
+    k = np.floor(np.log2(x.astype(np.float64))).astype(np.int64)
+    # repair float rounding at class boundaries
+    too_high = (x >> np.minimum(k, 62)) == 0
+    k[too_high] -= 1
+    too_low = (x >> np.minimum(k + 1, 62)) > 0
+    k[too_low] += 1
+    return k
+
+
+def _run_lengths(symbols: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """(run start values, run lengths) of a 1-D symbol array."""
+    n = symbols.size
+    change = np.flatnonzero(symbols[1:] != symbols[:-1]) + 1
+    starts = np.concatenate([[0], change])
+    lens = np.diff(np.concatenate([starts, [n]]))
+    return symbols[starts], lens
+
+
+def tokenize_runs(
+    symbols: np.ndarray, dominant: int, alphabet_size: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Replace runs of ``dominant`` with run tokens.
+
+    Returns ``(tokens, extra_values, extra_widths)`` where tokens live in
+    ``[0, alphabet_size + RUN_CLASSES)`` and the extras encode run-length
+    remainders (aligned with run tokens, in stream order).
+    """
+    symbols = np.ascontiguousarray(symbols, dtype=np.int64)
+    if symbols.size == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty.astype(np.uint64), empty.astype(np.uint8)
+    vals, lens = _run_lengths(symbols)
+    is_dom = vals == dominant
+    k = np.zeros(lens.size, dtype=np.int64)
+    if is_dom.any():
+        k[is_dom] = _floor_log2(lens[is_dom])
+    token_vals = np.where(is_dom, alphabet_size + k, vals)
+    out_counts = np.where(is_dom, 1, lens)
+    tokens = np.repeat(token_vals, out_counts)
+    extra_values = (lens[is_dom] - (np.int64(1) << k[is_dom])).astype(np.uint64)
+    extra_widths = k[is_dom].astype(np.uint8)
+    return tokens, extra_values, extra_widths
+
+
+def detokenize_runs(
+    tokens: np.ndarray,
+    extra_values: np.ndarray,
+    dominant: int,
+    alphabet_size: int,
+) -> np.ndarray:
+    """Inverse of :func:`tokenize_runs`."""
+    tokens = np.ascontiguousarray(tokens, dtype=np.int64)
+    if tokens.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    is_run = tokens >= alphabet_size
+    k = tokens[is_run] - alphabet_size
+    if (k >= RUN_CLASSES).any() or (tokens < 0).any():
+        raise DecompressionError("corrupt run token stream")
+    if int(is_run.sum()) != extra_values.size:
+        raise DecompressionError("run-token/extras count mismatch")
+    lens = np.ones(tokens.size, dtype=np.int64)
+    lens[is_run] = (np.int64(1) << k) + extra_values.astype(np.int64)
+    out_vals = np.where(is_run, dominant, tokens)
+    return np.repeat(out_vals, lens)
+
+
+def run_token_widths(tokens: np.ndarray, alphabet_size: int) -> np.ndarray:
+    """Per-run-token extra-bit widths, recoverable from the tokens alone."""
+    is_run = tokens >= alphabet_size
+    return (tokens[is_run] - alphabet_size).astype(np.uint8)

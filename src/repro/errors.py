@@ -1,0 +1,17 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """Raised when a compressor or experiment is configured inconsistently."""
+
+
+class CompressionError(ReproError):
+    """Raised when compression fails (bad input shape, dtype, or bound)."""
+
+
+class DecompressionError(ReproError):
+    """Raised when a compressed stream is malformed or truncated."""

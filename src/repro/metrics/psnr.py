@@ -1,0 +1,35 @@
+"""PSNR and friends.
+
+The paper (Eq. 1) defines PSNR against the *value range* of the original
+data: ``PSNR = 20 log10(vrange / rmse)``, equivalent to NRMSE up to a log.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils import value_range
+
+
+def mse(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Mean squared error."""
+    diff = np.asarray(original, dtype=np.float64) - np.asarray(
+        reconstructed, dtype=np.float64
+    )
+    return float(np.mean(diff * diff))
+
+
+def nrmse(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Root-mean-square error normalized by the original's value range."""
+    vr = value_range(np.asarray(original))
+    if vr == 0.0:
+        return 0.0 if mse(original, reconstructed) == 0.0 else np.inf
+    return float(np.sqrt(mse(original, reconstructed)) / vr)
+
+
+def psnr(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Peak signal-to-noise ratio in dB (paper Eq. 1); inf for exact."""
+    e = nrmse(original, reconstructed)
+    if e == 0.0:
+        return float("inf")
+    return float(-20.0 * np.log10(e))

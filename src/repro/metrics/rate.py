@@ -1,0 +1,48 @@
+"""Rate-side metrics: compression ratio, bit rate, error histograms."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def compression_ratio(original: np.ndarray, compressed: bytes) -> float:
+    """Original bytes / compressed bytes."""
+    if len(compressed) == 0:
+        raise ValueError("empty compressed stream")
+    return original.nbytes / len(compressed)
+
+
+def bit_rate(original: np.ndarray, compressed: bytes) -> float:
+    """Average bits per data point after compression (paper's 'rate')."""
+    return 8.0 * len(compressed) / original.size
+
+
+def max_abs_error(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """L-infinity error — the quantity the bound constrains."""
+    return float(
+        np.max(
+            np.abs(
+                np.asarray(original, np.float64) - np.asarray(reconstructed, np.float64)
+            )
+        )
+    )
+
+
+def error_histogram(
+    original: np.ndarray,
+    reconstructed: np.ndarray,
+    error_bound: float,
+    bins: int = 101,
+):
+    """Histogram of point-wise errors over [-eb, eb] (paper Fig. 7).
+
+    Returns ``(bin_centers, counts, n_violations)`` where ``n_violations``
+    counts points outside the bound (must be 0 for every codec here).
+    """
+    e = (
+        np.asarray(original, np.float64) - np.asarray(reconstructed, np.float64)
+    ).ravel()
+    counts, edges = np.histogram(e, bins=bins, range=(-error_bound, error_bound))
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    violations = int(np.count_nonzero(np.abs(e) > error_bound))
+    return centers, counts, violations

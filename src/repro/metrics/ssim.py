@@ -1,0 +1,59 @@
+"""Structural Similarity Index for N-dimensional scientific fields.
+
+Implements Wang et al.'s SSIM (paper Eq. 2-3) with a uniform sliding
+window, generalized to 1-D..4-D arrays.  ``batch=True`` treats axis 0 as a
+stack of independent blocks (windows never cross block boundaries), which
+is how QoZ's tuner scores SSIM on sampled blocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.ndimage import uniform_filter
+
+#: Wang et al. default stabilization constants
+K1 = 0.01
+K2 = 0.03
+DEFAULT_WINDOW = 7
+
+
+def ssim(
+    original: np.ndarray,
+    reconstructed: np.ndarray,
+    data_range: float | None = None,
+    window: int = DEFAULT_WINDOW,
+    batch: bool = False,
+) -> float:
+    """Mean SSIM between two arrays.
+
+    ``data_range`` defaults to the original's value range (SSIM of a
+    constant field against itself is defined as 1).
+    """
+    x = np.asarray(original, dtype=np.float64)
+    y = np.asarray(reconstructed, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError(f"shape mismatch {x.shape} vs {y.shape}")
+    if data_range is None:
+        data_range = float(x.max() - x.min())
+    if data_range == 0.0:
+        return 1.0 if np.array_equal(x, y) else 0.0
+    size = [window] * x.ndim
+    if batch:
+        size[0] = 1
+    win = np.minimum(size, x.shape).tolist()
+
+    mu_x = uniform_filter(x, size=win)
+    mu_y = uniform_filter(y, size=win)
+    mu_xx = uniform_filter(x * x, size=win)
+    mu_yy = uniform_filter(y * y, size=win)
+    mu_xy = uniform_filter(x * y, size=win)
+
+    var_x = np.maximum(mu_xx - mu_x * mu_x, 0.0)
+    var_y = np.maximum(mu_yy - mu_y * mu_y, 0.0)
+    cov = mu_xy - mu_x * mu_y
+
+    c1 = (K1 * data_range) ** 2
+    c2 = (K2 * data_range) ** 2
+    num = (2.0 * mu_x * mu_y + c1) * (2.0 * cov + c2)
+    den = (mu_x * mu_x + mu_y * mu_y + c1) * (var_x + var_y + c2)
+    return float(np.mean(num / den))

@@ -1,0 +1,17 @@
+"""Error-bounded quantization (the SZ-family linear-scale quantizer)."""
+
+from repro.quantize.linear import (
+    DEFAULT_RADIUS,
+    OUTLIER_CODE,
+    LinearQuantizer,
+    quantize_block,
+    reconstruct_block,
+)
+
+__all__ = [
+    "DEFAULT_RADIUS",
+    "OUTLIER_CODE",
+    "LinearQuantizer",
+    "quantize_block",
+    "reconstruct_block",
+]

@@ -1,0 +1,151 @@
+"""Linear-scale quantizer with strict error-bound guarantee.
+
+Residuals ``r = value - prediction`` are mapped to integer bins of width
+``2 * eb`` so that the reconstruction ``pred + 2 * eb * q`` is within ``eb``
+of the original.  Bins are offset by ``radius`` into non-negative codes;
+code 0 is reserved for *outliers* — points whose residual overflows the bin
+range **or** whose reconstruction would violate the bound after floating
+round-off.  Outlier values are stored exactly in a side stream, which makes
+the bound unconditional (paper Fig. 7).
+
+All operations are vectorized over whole prediction passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+#: default number of bins on each side of zero (SZ uses 2^15)
+DEFAULT_RADIUS = 32768
+#: reserved quantization code marking an exactly-stored point
+OUTLIER_CODE = 0
+
+
+def quantize_block(
+    values: np.ndarray,
+    preds: np.ndarray,
+    eb: float,
+    radius: int = DEFAULT_RADIUS,
+    cast_dtype=np.float64,
+):
+    """Quantize one prediction pass.
+
+    Returns ``(codes, recon, outlier_values)``: non-negative int64 codes
+    (0 = outlier), the reconstructed values (exact at outliers), and the
+    outlier values in scan order.
+
+    ``cast_dtype`` is the dtype the decompressed array will finally be
+    cast to; the bound is verified against the *cast* reconstruction so
+    the guarantee survives float64 -> float32 round-off.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    preds = np.asarray(preds, dtype=np.float64)
+    inv = 1.0 / (2.0 * eb)
+    q = np.rint((values - preds) * inv)
+    in_range = np.abs(q) < radius
+    recon = preds + (2.0 * eb) * q
+    delivered = recon.astype(cast_dtype).astype(np.float64)
+    ok = in_range & (np.abs(values - delivered) <= eb)
+    codes = np.where(ok, q.astype(np.int64) + radius, OUTLIER_CODE)
+    recon = np.where(ok, recon, values)
+    outliers = values[~ok]
+    return codes, recon, outliers
+
+
+def reconstruct_block(
+    codes: np.ndarray,
+    preds: np.ndarray,
+    eb: float,
+    outliers: np.ndarray,
+    radius: int = DEFAULT_RADIUS,
+) -> np.ndarray:
+    """Inverse of :func:`quantize_block` for one pass.
+
+    ``outliers`` must contain exactly the values for the pass's outlier
+    codes, in scan order.
+    """
+    codes = np.asarray(codes)
+    preds = np.asarray(preds, dtype=np.float64)
+    recon = preds + (2.0 * eb) * (codes.astype(np.float64) - radius)
+    mask = codes == OUTLIER_CODE
+    if mask.any():
+        recon[mask] = outliers
+    return recon
+
+
+@dataclass
+class LinearQuantizer:
+    """Stateful quantizer accumulating codes/outliers across passes.
+
+    Compression side::
+
+        q = LinearQuantizer(radius)
+        recon = q.quantize(values, preds, eb)   # per pass
+        codes, outliers = q.harvest()
+
+    Decompression side::
+
+        q = LinearQuantizer(radius, codes=codes, outliers=outliers)
+        recon = q.dequantize(count, preds, eb)  # per pass, same order
+    """
+
+    radius: int = DEFAULT_RADIUS
+    codes: np.ndarray | None = None
+    outliers: np.ndarray | None = None
+    cast_dtype: np.dtype = np.float64
+    _code_chunks: List[np.ndarray] = field(default_factory=list)
+    _outlier_chunks: List[np.ndarray] = field(default_factory=list)
+    _code_pos: int = 0
+    _outlier_pos: int = 0
+
+    # -------------------------------------------------------------- compress
+    def quantize(self, values: np.ndarray, preds: np.ndarray, eb: float):
+        """Quantize one pass; returns reconstructed values (same shape)."""
+        codes, recon, outliers = quantize_block(
+            values, preds, eb, self.radius, self.cast_dtype
+        )
+        self._code_chunks.append(codes.ravel())
+        if outliers.size:
+            self._outlier_chunks.append(outliers)
+        return recon
+
+    def harvest(self):
+        """All codes and outliers accumulated so far, concatenated."""
+        codes = (
+            np.concatenate(self._code_chunks)
+            if self._code_chunks
+            else np.zeros(0, dtype=np.int64)
+        )
+        outliers = (
+            np.concatenate(self._outlier_chunks)
+            if self._outlier_chunks
+            else np.zeros(0, dtype=np.float64)
+        )
+        return codes, outliers
+
+    # ------------------------------------------------------------ decompress
+    def dequantize(self, count: int, preds: np.ndarray, eb: float) -> np.ndarray:
+        """Reconstruct one pass of ``count`` points from the stored streams.
+
+        Codes/outliers are consumed in the same order quantize() produced
+        them; the result has the shape of ``preds``.
+        """
+        preds = np.asarray(preds, dtype=np.float64)
+        codes = self.codes[self._code_pos : self._code_pos + count]
+        if codes.size != count:
+            from repro.errors import DecompressionError
+
+            raise DecompressionError("quantization code stream exhausted")
+        self._code_pos += count
+        n_out = int(np.count_nonzero(codes == OUTLIER_CODE))
+        outliers = self.outliers[self._outlier_pos : self._outlier_pos + n_out]
+        if outliers.size != n_out:
+            from repro.errors import DecompressionError
+
+            raise DecompressionError("outlier stream exhausted")
+        self._outlier_pos += n_out
+        flat = reconstruct_block(codes, preds.ravel(), eb, outliers, self.radius)
+        return flat.reshape(preds.shape)

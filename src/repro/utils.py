@@ -1,0 +1,122 @@
+"""Small shared helpers: input validation, dtype handling, array geometry."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CompressionError
+
+#: floating dtypes every codec accepts as input
+SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+def validate_input(data: np.ndarray, name: str = "data") -> np.ndarray:
+    """Check that *data* is a finite, non-empty float32/float64 ndarray.
+
+    Returns a C-contiguous view (copying only if needed).
+    """
+    if not isinstance(data, np.ndarray):
+        raise CompressionError(f"{name} must be a numpy ndarray, got {type(data)!r}")
+    if data.dtype not in SUPPORTED_DTYPES:
+        raise CompressionError(
+            f"{name} must be float32 or float64, got dtype {data.dtype}"
+        )
+    if data.size == 0:
+        raise CompressionError(f"{name} must be non-empty")
+    if data.ndim < 1 or data.ndim > 4:
+        raise CompressionError(f"{name} must have 1..4 dimensions, got {data.ndim}")
+    if not np.all(np.isfinite(data)):
+        raise CompressionError(f"{name} contains non-finite values")
+    return np.ascontiguousarray(data)
+
+
+def validate_error_bound(eb: float) -> float:
+    """Check that an absolute error bound is a positive finite float."""
+    eb = float(eb)
+    if not np.isfinite(eb) or eb <= 0.0:
+        raise CompressionError(f"error bound must be positive and finite, got {eb}")
+    return eb
+
+
+def value_range(data: np.ndarray) -> float:
+    """max(X) - min(X); the paper's ``vrange`` used for relative bounds/PSNR."""
+    return float(np.max(data) - np.min(data))
+
+
+def resolve_error_bound(
+    data: np.ndarray,
+    error_bound: float | None,
+    rel_error_bound: float | None,
+) -> float:
+    """Turn (absolute | value-range-relative) bound into an absolute bound.
+
+    Exactly one of the two must be given.  A relative bound on a constant
+    field (vrange == 0) falls back to a tiny absolute bound so compression
+    still succeeds (and is lossless in effect).
+    """
+    if (error_bound is None) == (rel_error_bound is None):
+        raise CompressionError(
+            "specify exactly one of error_bound= or rel_error_bound="
+        )
+    if error_bound is not None:
+        return validate_error_bound(error_bound)
+    rel = validate_error_bound(rel_error_bound)
+    vr = value_range(data)
+    if vr == 0.0:
+        # constant field: any positive bound works; keep it tiny
+        scale = abs(float(data.flat[0])) or 1.0
+        return rel * scale
+    return rel * vr
+
+
+def dtype_code(dtype: np.dtype) -> int:
+    """Stable 1-byte code for a supported dtype (stream headers)."""
+    if np.dtype(dtype) == np.float32:
+        return 0
+    if np.dtype(dtype) == np.float64:
+        return 1
+    raise CompressionError(f"unsupported dtype {dtype}")
+
+
+def dtype_from_code(code: int) -> np.dtype:
+    """Inverse of :func:`dtype_code`."""
+    if code == 0:
+        return np.dtype(np.float32)
+    if code == 1:
+        return np.dtype(np.float64)
+    raise CompressionError(f"unknown dtype code {code}")
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division."""
+    return -(-a // b)
+
+
+def next_pow2(n: int) -> int:
+    """Smallest power of two >= n (n >= 1)."""
+    p = 1
+    while p < n:
+        p <<= 1
+    return p
+
+
+def is_pow2(n: int) -> bool:
+    """True when n is a positive power of two."""
+    return n >= 1 and (n & (n - 1)) == 0
+
+
+def block_starts(extent: int, block: int) -> np.ndarray:
+    """Start offsets of consecutive ``block``-sized tiles covering ``extent``."""
+    return np.arange(0, extent, block)
+
+
+def strict_bound_violations(
+    original: np.ndarray, recon: np.ndarray, eb: float
+) -> np.ndarray:
+    """Boolean mask of points where |orig - recon| exceeds the bound.
+
+    A tiny relative tolerance absorbs float round-off in the comparison
+    itself; codecs use this mask to emit exact-value outliers so the bound
+    is unconditionally strict on the returned array.
+    """
+    return np.abs(original.astype(np.float64) - recon.astype(np.float64)) > eb

@@ -1,0 +1,66 @@
+"""Cross-dimensional coverage: every codec on 1-D through 4-D inputs."""
+
+import numpy as np
+import pytest
+
+from repro import MGARDPlus, QoZ, SZ2, SZ3, ZFP
+from repro.errors import CompressionError
+
+
+def walk(shape, seed=0):
+    rng = np.random.default_rng(seed)
+    x = np.cumsum(rng.standard_normal(int(np.prod(shape)))).reshape(shape)
+    return (x / np.abs(x).max()).astype(np.float32)
+
+
+SHAPES = {
+    1: (300,),
+    2: (40, 50),
+    3: (12, 14, 16),
+    4: (6, 8, 10, 12),
+}
+
+
+@pytest.mark.parametrize("ndim", [1, 2, 3, 4])
+@pytest.mark.parametrize("codec_cls", [SZ3, QoZ, ZFP, MGARDPlus])
+def test_interp_and_transform_codecs_all_dims(codec_cls, ndim):
+    data = walk(SHAPES[ndim], seed=ndim)
+    codec = codec_cls()
+    out = codec.decompress(codec.compress(data, rel_error_bound=1e-3))
+    eb = 1e-3 * (data.max() - data.min())
+    assert out.shape == data.shape
+    assert np.abs(out.astype(np.float64) - data.astype(np.float64)).max() <= eb
+
+
+@pytest.mark.parametrize("ndim", [1, 2, 3])
+def test_sz2_supported_dims(ndim):
+    data = walk(SHAPES[ndim], seed=ndim)
+    codec = SZ2()
+    out = codec.decompress(codec.compress(data, rel_error_bound=1e-3))
+    eb = 1e-3 * (data.max() - data.min())
+    assert np.abs(out.astype(np.float64) - data.astype(np.float64)).max() <= eb
+
+
+def test_sz2_rejects_4d_cleanly():
+    data = walk(SHAPES[4])
+    with pytest.raises(CompressionError, match="1-3 dimensions"):
+        SZ2().compress(data, rel_error_bound=1e-3)
+
+
+@pytest.mark.parametrize("codec_cls", [SZ3, QoZ])
+def test_single_point_per_axis_edge(codec_cls):
+    # degenerate extents (length-1 axes) must survive the level machinery
+    data = np.ascontiguousarray(walk((1, 37)))
+    codec = codec_cls()
+    out = codec.decompress(codec.compress(data, error_bound=1e-3))
+    assert out.shape == data.shape
+    assert np.abs(out.astype(np.float64) - data.astype(np.float64)).max() <= 1e-3
+
+
+@pytest.mark.parametrize("codec_cls", [SZ3, QoZ, ZFP, MGARDPlus, SZ2])
+def test_float64_input_all_codecs(codec_cls):
+    data = walk((24, 24), seed=9).astype(np.float64)
+    codec = codec_cls()
+    out = codec.decompress(codec.compress(data, error_bound=1e-5))
+    assert out.dtype == np.float64
+    assert np.abs(out - data).max() <= 1e-5

@@ -1,0 +1,158 @@
+"""Integration + property tests shared by every codec.
+
+The single most important invariant of the paper (and Fig. 7): for every
+codec, every dataset and every bound, the decompressed array satisfies
+``|x - x'| <= eb`` at *every* point, with no exceptions.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import MGARDPlus, QoZ, SZ2, SZ3, ZFP
+from repro.compressors.base import (
+    available_compressors,
+    decompress_any,
+    get_compressor,
+)
+from repro.errors import CompressionError, DecompressionError
+
+ALL_CODECS = [SZ2, SZ3, ZFP, MGARDPlus, QoZ]
+
+
+def smooth_field(shape, seed=0, noise=0.0):
+    rng = np.random.default_rng(seed)
+    coords = np.meshgrid(
+        *[np.linspace(0, 2.5 * np.pi, n) for n in shape], indexing="ij"
+    )
+    f = np.ones(shape)
+    for i, c in enumerate(coords):
+        f = f * np.sin(c * (i + 1) * 0.7 + 0.3)
+    if noise:
+        f = f + noise * rng.standard_normal(shape)
+    return f.astype(np.float32)
+
+
+@pytest.mark.parametrize("codec_cls", ALL_CODECS)
+class TestEveryCodec:
+    def test_bound_strict_3d(self, codec_cls):
+        data = smooth_field((40, 40, 40), noise=0.05)
+        codec = codec_cls()
+        blob = codec.compress(data, rel_error_bound=1e-3)
+        out = codec.decompress(blob)
+        eb = 1e-3 * (data.max() - data.min())
+        assert np.abs(out.astype(np.float64) - data.astype(np.float64)).max() <= eb
+
+    def test_bound_strict_2d(self, codec_cls):
+        data = smooth_field((80, 64))
+        codec = codec_cls()
+        blob = codec.compress(data, error_bound=1e-4)
+        out = codec.decompress(blob)
+        assert np.abs(out.astype(np.float64) - data.astype(np.float64)).max() <= 1e-4
+
+    def test_dtype_and_shape_preserved(self, codec_cls):
+        for dtype in (np.float32, np.float64):
+            data = smooth_field((17, 23)).astype(dtype)
+            codec = codec_cls()
+            out = codec.decompress(codec.compress(data, rel_error_bound=1e-3))
+            assert out.dtype == dtype
+            assert out.shape == data.shape
+
+    def test_decompression_deterministic(self, codec_cls):
+        data = smooth_field((30, 30), noise=0.1)
+        codec = codec_cls()
+        blob = codec.compress(data, rel_error_bound=1e-2)
+        a = codec.decompress(blob)
+        b = codec.decompress(blob)
+        np.testing.assert_array_equal(a, b)
+
+    def test_decompress_any_routes_correctly(self, codec_cls):
+        data = smooth_field((16, 16))
+        codec = codec_cls()
+        blob = codec.compress(data, rel_error_bound=1e-3)
+        np.testing.assert_array_equal(decompress_any(blob), codec.decompress(blob))
+
+    def test_constant_field(self, codec_cls):
+        data = np.full((24, 24), 7.5, dtype=np.float32)
+        codec = codec_cls()
+        out = codec.decompress(codec.compress(data, error_bound=1e-6))
+        assert np.abs(out - data).max() <= 1e-6
+
+    def test_tiny_input(self, codec_cls):
+        data = np.array([[1.0, 2.0], [3.0, 4.0]], dtype=np.float32)
+        codec = codec_cls()
+        out = codec.decompress(codec.compress(data, error_bound=0.01))
+        assert np.abs(out.astype(np.float64) - data).max() <= 0.01
+
+    def test_odd_shapes(self, codec_cls):
+        data = smooth_field((13, 29, 7))
+        codec = codec_cls()
+        out = codec.decompress(codec.compress(data, rel_error_bound=1e-3))
+        eb = 1e-3 * (data.max() - data.min())
+        assert out.shape == data.shape
+        assert np.abs(out.astype(np.float64) - data.astype(np.float64)).max() <= eb
+
+    def test_invalid_inputs_rejected(self, codec_cls):
+        codec = codec_cls()
+        with pytest.raises(CompressionError):
+            codec.compress(np.zeros((4, 4), dtype=np.int32), error_bound=0.1)
+        with pytest.raises(CompressionError):
+            codec.compress(np.zeros((4, 4), dtype=np.float32))  # no bound
+        with pytest.raises(CompressionError):
+            codec.compress(
+                np.zeros((4, 4), dtype=np.float32), error_bound=-1.0
+            )
+        with pytest.raises(CompressionError):
+            codec.compress(
+                np.full((4, 4), np.nan, dtype=np.float32), error_bound=0.1
+            )
+
+    def test_wrong_codec_stream_rejected(self, codec_cls):
+        data = smooth_field((8, 8))
+        codec = codec_cls()
+        blob = codec.compress(data, error_bound=0.1)
+        others = [c for c in ALL_CODECS if c is not codec_cls]
+        with pytest.raises(DecompressionError):
+            others[0]().decompress(blob)
+
+    def test_truncated_stream_raises(self, codec_cls):
+        data = smooth_field((16, 16))
+        codec = codec_cls()
+        blob = codec.compress(data, rel_error_bound=1e-3)
+        with pytest.raises(DecompressionError):
+            codec.decompress(blob[: len(blob) // 2])
+
+
+class TestRegistry:
+    def test_all_names_registered(self):
+        names = available_compressors()
+        for expected in ("sz2", "sz3", "zfp", "mgard", "qoz"):
+            assert expected in names
+
+    def test_get_compressor_with_kwargs(self):
+        codec = get_compressor("qoz", metric="ssim")
+        assert codec.metric == "ssim"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_compressor("lzma")
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=2**31),
+    st.sampled_from(["sz2", "sz3", "zfp", "mgard", "qoz"]),
+    st.floats(min_value=1e-5, max_value=1e-1),
+    st.integers(min_value=1, max_value=3),
+)
+def test_universal_bound_property(seed, name, rel_eb, ndim):
+    """Random rough fields never violate the bound under any codec."""
+    rng = np.random.default_rng(seed)
+    shape = tuple(rng.integers(4, 24, size=ndim))
+    data = rng.standard_normal(shape).astype(np.float32)
+    codec = get_compressor(name)
+    blob = codec.compress(data, rel_error_bound=rel_eb)
+    out = codec.decompress(blob)
+    eb = rel_eb * float(data.max() - data.min())
+    assert np.abs(out.astype(np.float64) - data.astype(np.float64)).max() <= eb

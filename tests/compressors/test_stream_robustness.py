@@ -1,0 +1,83 @@
+"""Robustness of compressed-stream parsing: corruption must raise, never
+return silently wrong data or crash with non-library errors."""
+
+import numpy as np
+import pytest
+
+from repro import QoZ, SZ2, SZ3
+from repro.errors import DecompressionError, ReproError
+
+
+def field(n=32, seed=0):
+    rng = np.random.default_rng(seed)
+    x = np.cumsum(rng.standard_normal((n, n)), axis=0)
+    return (x / np.abs(x).max()).astype(np.float32)
+
+
+@pytest.mark.parametrize("codec_cls", [SZ3, SZ2, QoZ])
+class TestTruncation:
+    def test_every_truncation_point_is_handled(self, codec_cls):
+        data = field()
+        codec = codec_cls()
+        blob = codec.compress(data, rel_error_bound=1e-2)
+        # cut at a spread of byte offsets, including inside the header
+        for cut in [0, 3, 10, len(blob) // 4, len(blob) // 2, len(blob) - 1]:
+            with pytest.raises(ReproError):
+                codec.decompress(blob[:cut])
+
+    def test_trailing_garbage_tolerated_or_rejected_cleanly(self, codec_cls):
+        data = field(seed=1)
+        codec = codec_cls()
+        blob = codec.compress(data, rel_error_bound=1e-2)
+        try:
+            out = codec.decompress(blob + b"\x00" * 16)
+        except ReproError:
+            return  # clean rejection is acceptable
+        # if tolerated, the result must still be correct
+        np.testing.assert_array_equal(out, codec.decompress(blob))
+
+
+class TestHeaderCorruption:
+    def test_codec_id_flip_detected(self):
+        data = field(seed=2)
+        blob = bytearray(SZ3().compress(data, rel_error_bound=1e-2))
+        blob[5] = 99  # codec id byte
+        with pytest.raises(DecompressionError):
+            SZ3().decompress(bytes(blob))
+
+    def test_magic_flip_detected(self):
+        data = field(seed=3)
+        blob = bytearray(SZ3().compress(data, rel_error_bound=1e-2))
+        blob[0] ^= 0xFF
+        with pytest.raises(DecompressionError):
+            SZ3().decompress(bytes(blob))
+
+
+class TestTuningTrace:
+    def test_trace_exposes_all_candidates_and_extra_trials(self):
+        data = field(n=96, seed=4)
+        codec = QoZ(metric="psnr")
+        codec.compress(data, rel_error_bound=1e-3)
+        tuning = codec.last_report.tuning
+        assert tuning is not None
+        assert len(tuning.trials) == 20  # 5 alphas x 4 betas
+        assert tuning.extra_trials >= 0
+        # the winner appears among the trials
+        assert any(
+            t.alpha == tuning.alpha and t.beta == tuning.beta
+            for t in tuning.trials
+        )
+
+    def test_cr_mode_records_no_metric(self):
+        data = field(n=64, seed=5)
+        codec = QoZ(metric="cr")
+        codec.compress(data, rel_error_bound=1e-3)
+        assert all(t.metric is None for t in codec.last_report.tuning.trials)
+
+    def test_selection_reported_levels(self):
+        data = field(n=96, seed=6)
+        codec = QoZ(metric="cr")
+        codec.compress(data, rel_error_bound=1e-3)
+        sel = codec.last_report.selection
+        assert sel is not None
+        assert 1 in sel.per_level

@@ -1,0 +1,107 @@
+"""Tests for stream headers, sections, and interp payload serialization."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import InterpPlan, LevelPlan, interp_compress
+from repro.core.header import (
+    StreamHeader,
+    pack_header,
+    pack_sections,
+    parse_header,
+    unpack_sections,
+)
+from repro.core.interpolation import CUBIC, LINEAR
+from repro.core.stream import pack_interp_payload, unpack_interp_payload
+from repro.errors import DecompressionError
+
+
+class TestHeader:
+    def test_roundtrip(self):
+        blob = pack_header(2, np.dtype(np.float32), (100, 500, 500), 1.25e-4)
+        header, off = parse_header(blob)
+        assert header == StreamHeader(2, np.dtype(np.float32), (100, 500, 500),
+                                      1.25e-4)
+        assert off == len(blob)
+
+    def test_bad_magic(self):
+        with pytest.raises(DecompressionError):
+            parse_header(b"XXXX" + b"\x00" * 32)
+
+    def test_truncated(self):
+        blob = pack_header(1, np.dtype(np.float64), (8, 8), 0.1)
+        with pytest.raises(DecompressionError):
+            parse_header(blob[:10])
+        with pytest.raises(DecompressionError):
+            parse_header(blob[:-4])
+
+    def test_payload_offset(self):
+        blob = pack_header(1, np.dtype(np.float64), (4,), 0.1) + b"PAYLOAD"
+        header, off = parse_header(blob)
+        assert blob[off:] == b"PAYLOAD"
+
+
+class TestSections:
+    def test_roundtrip(self):
+        sections = [b"", b"abc", b"\x00" * 1000]
+        blob = pack_sections(sections)
+        assert unpack_sections(blob) == sections
+
+    def test_empty_list(self):
+        assert unpack_sections(pack_sections([])) == []
+
+    def test_truncation_detected(self):
+        blob = pack_sections([b"hello", b"world"])
+        with pytest.raises(DecompressionError):
+            unpack_sections(blob[:-3])
+
+    def test_offset_parsing(self):
+        blob = b"HDR" + pack_sections([b"x"])
+        assert unpack_sections(blob, offset=3) == [b"x"]
+
+
+class TestInterpPayload:
+    def test_roundtrip_preserves_plan_and_streams(self, rng):
+        shape = (24, 24)
+        data = np.cumsum(rng.standard_normal(24 * 24)).reshape(shape)
+        data /= np.abs(data).max()
+        plan = InterpPlan(
+            levels={
+                1: LevelPlan(eb=1e-3, method=CUBIC, order_id=0),
+                2: LevelPlan(eb=5e-4, method=LINEAR, order_id=1),
+                3: LevelPlan(eb=2.5e-4, method=CUBIC, order_id=0),
+                4: LevelPlan(eb=2.5e-4, method=CUBIC, order_id=0),
+                5: LevelPlan(eb=2.5e-4, method=CUBIC, order_id=0),
+            },
+            anchor_stride=8,
+        )
+        codes, outliers, known, _ = interp_compress(data, plan)
+        payload = pack_interp_payload(
+            plan, 3, known, codes, outliers, np.dtype(np.float64)
+        )
+        plan2, top, known2, codes2, outliers2 = unpack_interp_payload(
+            payload, np.dtype(np.float64)
+        )
+        assert top == 3
+        assert plan2.anchor_stride == 8
+        for l in (1, 2, 3):
+            assert plan2.levels[l].eb == plan.levels[l].eb
+            assert plan2.levels[l].method == plan.levels[l].method
+            assert plan2.levels[l].order_id == plan.levels[l].order_id
+        np.testing.assert_array_equal(codes2, codes)
+        np.testing.assert_array_equal(known2.ravel(), known.ravel())
+        np.testing.assert_array_equal(outliers2, outliers)
+
+    def test_float32_known_points_roundtrip_exactly(self, rng):
+        known = rng.standard_normal(100).astype(np.float32).astype(np.float64)
+        plan = InterpPlan(levels={1: LevelPlan(eb=1e-3)}, anchor_stride=4)
+        payload = pack_interp_payload(
+            plan, 1, known, np.zeros(0, np.int64), np.zeros(0),
+            np.dtype(np.float32),
+        )
+        _, _, known2, _, _ = unpack_interp_payload(payload, np.dtype(np.float32))
+        np.testing.assert_array_equal(known2, known)
+
+    def test_wrong_section_count_raises(self):
+        with pytest.raises(DecompressionError):
+            unpack_interp_payload(pack_sections([b"", b""]), np.dtype(np.float64))

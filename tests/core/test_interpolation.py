@@ -1,0 +1,107 @@
+"""Tests for the vectorized interpolation kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.interpolation import CUBIC, LINEAR, predict_targets, target_count
+
+
+def line_predict(values, method):
+    """Predict odd entries of a 1-D grid from its even entries."""
+    even = values[::2]
+    m = target_count(values.size)
+    return predict_targets(even.astype(np.float64), m, method)
+
+
+class TestExactness:
+    """Lagrange kernels must reproduce polynomials of matching degree."""
+
+    def test_linear_exact_on_affine(self):
+        x = np.arange(21, dtype=np.float64)
+        vals = 3.0 * x - 7.0
+        pred = line_predict(vals, LINEAR)
+        np.testing.assert_allclose(pred, vals[1::2], atol=1e-12)
+
+    def test_cubic_exact_on_cubic_polynomial_interior(self):
+        # boundary targets use quadratic stencils; interior must be exact
+        x = np.arange(33, dtype=np.float64)
+        vals = 0.5 * x**3 - 2.0 * x**2 + x - 4.0
+        pred = line_predict(vals, CUBIC)
+        np.testing.assert_allclose(pred[1:-1], vals[1::2][1:-1], rtol=1e-10)
+
+    def test_cubic_boundary_exact_on_quadratic(self):
+        # first/last-with-right-neighbor targets use quadratic stencils;
+        # quadratics must be exact there (odd grid length: every target
+        # has a right neighbor, so no linear-extrapolation tail)
+        x = np.arange(17, dtype=np.float64)
+        vals = 2.0 * x**2 - 3.0 * x + 1.0
+        pred = line_predict(vals, CUBIC)
+        np.testing.assert_allclose(pred, vals[1::2], rtol=1e-10)
+
+    def test_linear_tail_extrapolation_exact_on_affine(self):
+        vals = 5.0 * np.arange(20, dtype=np.float64)  # even length: tail target
+        pred = line_predict(vals, LINEAR)
+        np.testing.assert_allclose(pred, vals[1::2], atol=1e-10)
+
+
+class TestShapesAndEdges:
+    def test_zero_targets(self):
+        even = np.ones((3, 1))
+        assert predict_targets(even, 0, CUBIC).shape == (3, 0)
+
+    def test_single_sample_copy(self):
+        # grid of length 2: one target, only a left neighbor
+        pred = line_predict(np.array([4.0, 9.0]), CUBIC)
+        assert pred.shape == (1,)
+        assert pred[0] == 4.0
+
+    def test_two_samples_linear_average(self):
+        # grid length 3: target between two samples
+        pred = line_predict(np.array([2.0, 0.0, 6.0]), LINEAR)
+        np.testing.assert_allclose(pred, [4.0])
+
+    def test_grid_length_four_cubic(self):
+        vals = np.array([0.0, 0.0, 2.0, 0.0])
+        pred = line_predict(vals, CUBIC)
+        assert pred.shape == (2,)
+        # j=0: quad-left from evens [0, 2]; j=1: extrapolation
+        np.testing.assert_allclose(pred[0], 0.5 * (0.0 + 2.0))
+        np.testing.assert_allclose(pred[1], 1.5 * 2.0 - 0.5 * 0.0)
+
+    def test_batched_leading_dims(self, rng):
+        even = rng.standard_normal((5, 7, 9))
+        pred = predict_targets(even, 8, CUBIC)
+        assert pred.shape == (5, 7, 8)
+        # each row must match the 1-D kernel applied separately
+        single = predict_targets(even[2, 3], 8, CUBIC)
+        np.testing.assert_allclose(pred[2, 3], single)
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(ValueError):
+            predict_targets(np.ones(4), 2, 99)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=200),
+    st.integers(min_value=0, max_value=2**31),
+    st.sampled_from([LINEAR, CUBIC]),
+)
+def test_prediction_bounded_by_neighborhood(glen, seed, method):
+    """Predictions stay within a constant factor of the sample range."""
+    rng = np.random.default_rng(seed)
+    vals = rng.uniform(-1.0, 1.0, glen)
+    pred = line_predict(vals, method)
+    assert pred.shape == (glen // 2,)
+    # interpolation weights sum to 1 with |w| <= 2 total magnitude ~2.25
+    assert np.all(np.abs(pred) <= 3.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=2, max_value=100), st.sampled_from([LINEAR, CUBIC]))
+def test_constant_field_predicted_exactly(glen, method):
+    vals = np.full(glen, 2.5)
+    pred = line_predict(vals, method)
+    np.testing.assert_allclose(pred, 2.5, atol=1e-12)

@@ -1,0 +1,201 @@
+"""Unit + property tests for the bit-level writer/reader."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.bitstream import BitReader, BitWriter
+from repro.errors import DecompressionError
+
+
+class TestBitWriterBasics:
+    def test_empty_writer_returns_empty_bytes(self):
+        assert BitWriter().getvalue() == b""
+
+    def test_single_bit(self):
+        w = BitWriter()
+        w.write_uint(1, 1)
+        assert w.getvalue() == b"\x80"
+        assert w.bit_length == 1
+
+    def test_msb_first_byte_layout(self):
+        w = BitWriter()
+        w.write_uint(0b1011, 4)
+        w.write_uint(0b0010, 4)
+        assert w.getvalue() == bytes([0b10110010])
+
+    def test_crosses_byte_boundary(self):
+        w = BitWriter()
+        w.write_uint(0x1FF, 9)
+        data = w.getvalue()
+        assert len(data) == 2
+        assert data == bytes([0xFF, 0x80])
+
+    def test_zero_width_write_is_noop(self):
+        w = BitWriter()
+        w.write_uint(0, 0)
+        assert w.bit_length == 0
+
+    def test_value_too_large_raises(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write_uint(4, 2)
+
+    def test_negative_value_raises(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write_uint(-1, 4)
+
+    def test_width_over_64_raises(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write_uint(0, 65)
+
+    def test_full_64bit_value(self):
+        w = BitWriter()
+        w.write_uint(2**64 - 1, 64)
+        r = BitReader(w.getvalue())
+        assert r.read_uint(64) == 2**64 - 1
+
+    def test_write_array_scalar_width(self):
+        w = BitWriter()
+        w.write_array(np.array([1, 2, 3], dtype=np.uint64), 4)
+        assert w.bit_length == 12
+        r = BitReader(w.getvalue())
+        assert r.read_array(3, 4).tolist() == [1, 2, 3]
+
+    def test_write_array_varwidths(self):
+        w = BitWriter()
+        vals = np.array([1, 5, 0, 7], dtype=np.uint64)
+        widths = np.array([1, 3, 2, 3], dtype=np.uint8)
+        w.write_array(vals, widths)
+        assert w.bit_length == 9
+        r = BitReader(w.getvalue())
+        assert r.read_varwidth_array(widths).tolist() == [1, 5, 0, 7]
+
+    def test_write_array_shape_mismatch_raises(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write_array(np.array([1, 2], dtype=np.uint64),
+                          np.array([1], dtype=np.uint8))
+
+    def test_write_empty_array(self):
+        w = BitWriter()
+        w.write_array(np.zeros(0, dtype=np.uint64), 8)
+        assert w.getvalue() == b""
+
+
+class TestBitReaderBasics:
+    def test_read_uint_roundtrip_mixed(self):
+        w = BitWriter()
+        w.write_uint(5, 3)
+        w.write_uint(1000, 17)
+        w.write_uint(0, 2)
+        r = BitReader(w.getvalue())
+        assert r.read_uint(3) == 5
+        assert r.read_uint(17) == 1000
+        assert r.read_uint(2) == 0
+
+    def test_exhaustion_raises(self):
+        r = BitReader(b"\xff")
+        r.read_uint(8)
+        with pytest.raises(DecompressionError):
+            r.read_uint(1)
+
+    def test_declared_bit_length_enforced(self):
+        with pytest.raises(DecompressionError):
+            BitReader(b"\xff", bit_length=16)
+
+    def test_declared_bit_length_truncates(self):
+        r = BitReader(b"\xff", bit_length=3)
+        assert r.remaining == 3
+
+    def test_read_array_empty(self):
+        r = BitReader(b"")
+        assert r.read_array(0, 8).size == 0
+
+    def test_read_zero_width_array(self):
+        r = BitReader(b"\x00")
+        assert r.read_array(5, 0).tolist() == [0] * 5
+
+    def test_varwidth_with_zero_widths(self):
+        w = BitWriter()
+        w.write_array(np.array([3], dtype=np.uint64), np.array([2], dtype=np.uint8))
+        r = BitReader(w.getvalue())
+        widths = np.array([0, 2, 0], dtype=np.uint8)
+        assert r.read_varwidth_array(widths).tolist() == [0, 3, 0]
+
+    def test_position_and_advance(self):
+        r = BitReader(b"\xaa\xbb")
+        r.read_uint(4)
+        assert r.position == 4
+        r.advance(8)
+        assert r.position == 12
+        with pytest.raises(DecompressionError):
+            r.advance(5)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=2**64 - 1),
+                  st.integers(min_value=1, max_value=64)),
+        min_size=0,
+        max_size=200,
+    )
+)
+def test_scalar_roundtrip_property(items):
+    """Any sequence of (value, width) pairs roundtrips exactly."""
+    w = BitWriter()
+    clipped = [(v & ((1 << n) - 1) if n < 64 else v, n) for v, n in items]
+    for v, n in clipped:
+        w.write_uint(v, n)
+    r = BitReader(w.getvalue(), bit_length=w.bit_length)
+    for v, n in clipped:
+        assert r.read_uint(n) == v
+    assert r.remaining == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=500),
+    st.integers(min_value=1, max_value=32),
+    st.integers(min_value=0, max_value=2**31),
+)
+def test_array_roundtrip_property(count, width, seed):
+    rng = np.random.default_rng(seed)
+    vals = rng.integers(0, 2**width, size=count, dtype=np.uint64)
+    w = BitWriter()
+    w.write_array(vals, width)
+    r = BitReader(w.getvalue())
+    out = r.read_array(count, width)
+    np.testing.assert_array_equal(out, vals)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=0, max_value=300), st.integers(min_value=0, max_value=2**31))
+def test_varwidth_roundtrip_property(count, seed):
+    rng = np.random.default_rng(seed)
+    widths = rng.integers(0, 33, size=count).astype(np.uint8)
+    vals = np.array(
+        [rng.integers(0, 1 << int(w)) if w else 0 for w in widths],
+        dtype=np.uint64,
+    )
+    w = BitWriter()
+    w.write_array(vals, widths)
+    r = BitReader(w.getvalue())
+    out = r.read_varwidth_array(widths)
+    np.testing.assert_array_equal(out, vals)
+
+
+def test_interleaved_scalar_and_array_reads():
+    w = BitWriter()
+    w.write_uint(42, 13)
+    w.write_array(np.arange(10, dtype=np.uint64), 7)
+    w.write_uint(7, 3)
+    r = BitReader(w.getvalue(), bit_length=w.bit_length)
+    assert r.read_uint(13) == 42
+    np.testing.assert_array_equal(r.read_array(10, 7), np.arange(10))
+    assert r.read_uint(3) == 7
+    assert r.remaining == 0

@@ -1,0 +1,99 @@
+"""Tests for the composed symbol-stream codec (remap + RLE + Huffman)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.codec import (
+    decode_symbol_stream,
+    encode_symbol_stream,
+    estimate_stream_bits,
+    shannon_bits,
+)
+
+
+class TestSymbolStream:
+    def test_empty(self):
+        blob = encode_symbol_stream(np.zeros(0, dtype=np.int64))
+        assert decode_symbol_stream(blob).size == 0
+
+    def test_roundtrip_quantization_like_stream(self, rng):
+        # typical quant indices: concentrated around a large offset (radius)
+        codes = 32768 + np.clip(
+            np.rint(rng.standard_normal(20000) * 2), -20, 20
+        ).astype(np.int64)
+        blob = encode_symbol_stream(codes)
+        np.testing.assert_array_equal(decode_symbol_stream(blob), codes)
+
+    def test_run_heavy_stream_compresses_below_half_bit(self, rng):
+        codes = np.full(50000, 100, dtype=np.int64)
+        idx = rng.choice(50000, size=500, replace=False)
+        codes[idx] = rng.integers(90, 110, size=500)
+        blob = encode_symbol_stream(codes)
+        np.testing.assert_array_equal(decode_symbol_stream(blob), codes)
+        assert len(blob) * 8 / codes.size < 0.5  # needs RLE to get here
+
+    def test_rle_disabled(self, rng):
+        codes = np.full(5000, 7, dtype=np.int64)
+        codes[::7] = 9
+        blob = encode_symbol_stream(codes, use_rle=False)
+        np.testing.assert_array_equal(decode_symbol_stream(blob), codes)
+
+    def test_negative_codes_rejected(self):
+        with pytest.raises(ValueError):
+            encode_symbol_stream(np.array([-1, 2], dtype=np.int64))
+
+    def test_single_element(self):
+        blob = encode_symbol_stream(np.array([12345], dtype=np.int64))
+        np.testing.assert_array_equal(decode_symbol_stream(blob), [12345])
+
+    def test_constant_stream(self):
+        codes = np.full(100000, 65535, dtype=np.int64)
+        blob = encode_symbol_stream(codes)
+        np.testing.assert_array_equal(decode_symbol_stream(blob), codes)
+        assert len(blob) < 200
+
+    def test_offset_remap_keeps_alphabet_small(self):
+        codes = np.array([1000000, 1000001, 1000002] * 100, dtype=np.int64)
+        blob = encode_symbol_stream(codes)
+        np.testing.assert_array_equal(decode_symbol_stream(blob), codes)
+        assert len(blob) < 400
+
+
+class TestEstimate:
+    def test_shannon_bits_uniform(self):
+        assert shannon_bits(np.array([8, 8])) == pytest.approx(16.0)
+
+    def test_shannon_bits_empty(self):
+        assert shannon_bits(np.zeros(3, dtype=np.int64)) == 0.0
+
+    def test_estimate_tracks_actual_size(self, rng):
+        for dominance in (0.0, 0.5, 0.95):
+            codes = rng.integers(0, 64, size=30000).astype(np.int64)
+            mask = rng.random(30000) < dominance
+            codes[mask] = 32
+            actual = len(encode_symbol_stream(codes)) * 8
+            est = estimate_stream_bits(codes)
+            assert 0.6 * actual <= est <= 1.4 * actual + 512
+
+    def test_estimate_empty(self):
+        assert estimate_stream_bits(np.zeros(0, dtype=np.int64)) == 0.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=2**31),
+    st.integers(min_value=1, max_value=5000),
+    st.integers(min_value=1, max_value=100),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.booleans(),
+)
+def test_roundtrip_property(seed, n, alphabet, dominance, use_rle):
+    rng = np.random.default_rng(seed)
+    offset = int(rng.integers(0, 100000))
+    codes = offset + rng.integers(0, alphabet, size=n)
+    mask = rng.random(n) < dominance
+    codes[mask] = offset + alphabet // 2
+    blob = encode_symbol_stream(codes.astype(np.int64), use_rle=use_rle)
+    np.testing.assert_array_equal(decode_symbol_stream(blob), codes)

@@ -1,0 +1,168 @@
+"""Unit + property tests for the canonical Huffman coder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.bitstream import BitReader, BitWriter
+from repro.encoding.huffman import MAX_CODE_LENGTH, HuffmanCode
+
+
+def roundtrip(symbols, alphabet):
+    code = HuffmanCode.from_symbols(symbols, alphabet)
+    w = BitWriter()
+    code.serialize(w)
+    code.encode(symbols, w)
+    r = BitReader(w.getvalue())
+    code2 = HuffmanCode.deserialize(r)
+    out = code2.decode(r, symbols.size)
+    return out, code
+
+
+class TestHuffmanBuild:
+    def test_single_symbol_gets_length_one(self):
+        code = HuffmanCode.from_frequencies(np.array([0, 10, 0]))
+        assert code.lengths[1] == 1
+        assert code.lengths[0] == 0 and code.lengths[2] == 0
+
+    def test_two_equal_symbols(self):
+        code = HuffmanCode.from_frequencies(np.array([5, 5]))
+        assert code.lengths.tolist() == [1, 1]
+        assert sorted(code.codes.tolist()) == [0, 1]
+
+    def test_kraft_inequality_holds(self):
+        rng = np.random.default_rng(0)
+        freqs = rng.integers(0, 1000, size=64)
+        code = HuffmanCode.from_frequencies(freqs)
+        lens = code.lengths[code.lengths > 0].astype(np.float64)
+        assert np.sum(2.0 ** -lens) <= 1.0 + 1e-12
+
+    def test_skewed_distribution_is_length_limited(self):
+        # Fibonacci-like frequencies normally produce very deep trees
+        freqs = np.array([1, 1] + [0] * 3, dtype=np.int64)
+        fib = [1, 1]
+        for _ in range(60):
+            fib.append(fib[-1] + fib[-2])
+        freqs = np.array(fib, dtype=np.int64)
+        code = HuffmanCode.from_frequencies(freqs)
+        assert code.lengths.max() <= MAX_CODE_LENGTH
+
+    def test_more_frequent_symbols_get_shorter_codes(self):
+        freqs = np.array([1000, 10, 10, 1])
+        code = HuffmanCode.from_frequencies(freqs)
+        assert code.lengths[0] <= code.lengths[1]
+        assert code.lengths[1] <= code.lengths[3]
+
+    def test_optimality_matches_entropy_within_one_bit(self):
+        rng = np.random.default_rng(1)
+        syms = rng.integers(0, 16, size=20000)
+        freqs = np.bincount(syms, minlength=16).astype(np.float64)
+        p = freqs / freqs.sum()
+        entropy = -(p[p > 0] * np.log2(p[p > 0])).sum()
+        code = HuffmanCode.from_frequencies(freqs.astype(np.int64))
+        avg_len = (freqs * code.lengths).sum() / freqs.sum()
+        assert entropy <= avg_len <= entropy + 1.0
+
+
+class TestHuffmanRoundtrip:
+    def test_basic_roundtrip(self):
+        rng = np.random.default_rng(2)
+        syms = rng.integers(0, 20, size=5000)
+        out, _ = roundtrip(syms, 20)
+        np.testing.assert_array_equal(out, syms)
+
+    def test_single_distinct_symbol_stream(self):
+        syms = np.full(100, 7, dtype=np.int64)
+        out, code = roundtrip(syms, 10)
+        np.testing.assert_array_equal(out, syms)
+        assert code.lengths[7] == 1
+
+    def test_empty_stream(self):
+        code = HuffmanCode.from_frequencies(np.array([1, 1]))
+        w = BitWriter()
+        code.encode(np.zeros(0, dtype=np.int64), w)
+        assert w.bit_length == 0
+        r = BitReader(b"")
+        assert code.decode(r, 0).size == 0
+
+    def test_long_codes_use_escape_path(self):
+        # geometric frequencies force code lengths past the 16-bit table
+        n = 24
+        freqs = (2 ** np.arange(n, dtype=np.float64)).astype(np.int64)
+        code = HuffmanCode(lengths=HuffmanCode.from_frequencies(freqs).lengths)
+        assert code.lengths.max() > 16
+        rng = np.random.default_rng(3)
+        syms = rng.choice(n, p=freqs / freqs.sum(), size=4000)
+        w = BitWriter()
+        code.encode(syms, w)
+        r = BitReader(w.getvalue())
+        out = code.decode(r, syms.size)
+        np.testing.assert_array_equal(out, syms)
+
+    def test_large_alphabet_sparse(self):
+        syms = np.array([10000, 50000, 10000, 3, 50000, 3], dtype=np.int64)
+        out, _ = roundtrip(syms, 65536)
+        np.testing.assert_array_equal(out, syms)
+
+    def test_decode_after_other_fields(self):
+        rng = np.random.default_rng(4)
+        syms = rng.integers(0, 8, size=300)
+        code = HuffmanCode.from_symbols(syms, 8)
+        w = BitWriter()
+        w.write_uint(123, 20)
+        code.serialize(w)
+        code.encode(syms, w)
+        w.write_uint(77, 9)
+        r = BitReader(w.getvalue())
+        assert r.read_uint(20) == 123
+        code2 = HuffmanCode.deserialize(r)
+        np.testing.assert_array_equal(code2.decode(r, syms.size), syms)
+        assert r.read_uint(9) == 77
+
+    def test_encode_symbol_without_code_raises(self):
+        code = HuffmanCode.from_frequencies(np.array([1, 1, 0]))
+        with pytest.raises(ValueError):
+            code.encode(np.array([2]), BitWriter())
+
+    def test_encoded_bit_count_matches_actual(self):
+        rng = np.random.default_rng(5)
+        syms = rng.integers(0, 12, size=1000)
+        freqs = np.bincount(syms, minlength=12)
+        code = HuffmanCode.from_frequencies(freqs)
+        w = BitWriter()
+        code.encode(syms, w)
+        assert w.bit_length == code.encoded_bit_count(freqs)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=2000),
+    st.integers(min_value=2, max_value=300),
+    st.integers(min_value=0, max_value=2**31),
+    st.floats(min_value=0.1, max_value=8.0),
+)
+def test_roundtrip_property(n, alphabet, seed, skew):
+    """Random (possibly heavily skewed) streams roundtrip exactly."""
+    rng = np.random.default_rng(seed)
+    weights = rng.random(alphabet) ** skew
+    weights /= weights.sum()
+    syms = rng.choice(alphabet, p=weights, size=n)
+    out, _ = roundtrip(syms, alphabet)
+    np.testing.assert_array_equal(out, syms)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31))
+def test_serialize_deserialize_identity(seed):
+    rng = np.random.default_rng(seed)
+    freqs = rng.integers(0, 50, size=rng.integers(2, 100))
+    if freqs.sum() == 0:
+        freqs[0] = 1
+    code = HuffmanCode.from_frequencies(freqs)
+    w = BitWriter()
+    code.serialize(w)
+    r = BitReader(w.getvalue())
+    code2 = HuffmanCode.deserialize(r)
+    np.testing.assert_array_equal(code.lengths, code2.lengths)
+    np.testing.assert_array_equal(code.codes, code2.codes)

@@ -1,0 +1,129 @@
+"""Tests for the linear-scale error-bounded quantizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantize.linear import (
+    DEFAULT_RADIUS,
+    OUTLIER_CODE,
+    LinearQuantizer,
+    quantize_block,
+    reconstruct_block,
+)
+
+
+class TestQuantizeBlock:
+    def test_zero_residual_maps_to_radius(self):
+        v = np.array([1.0, 2.0])
+        codes, recon, outl = quantize_block(v, v, 0.1)
+        assert codes.tolist() == [DEFAULT_RADIUS, DEFAULT_RADIUS]
+        np.testing.assert_allclose(recon, v)
+        assert outl.size == 0
+
+    def test_reconstruction_within_bound(self, rng):
+        values = rng.standard_normal(1000)
+        preds = values + rng.uniform(-0.5, 0.5, 1000)
+        codes, recon, outl = quantize_block(values, preds, 1e-3)
+        assert np.all(np.abs(values - recon) <= 1e-3)
+        assert outl.size == 0
+
+    def test_overflow_becomes_outlier(self):
+        values = np.array([1e9, 0.0])
+        preds = np.zeros(2)
+        codes, recon, outl = quantize_block(values, preds, 1e-6)
+        assert codes[0] == OUTLIER_CODE
+        assert recon[0] == 1e9  # exact
+        assert outl.tolist() == [1e9]
+
+    def test_outlier_order_is_scan_order(self):
+        values = np.array([5e8, 0.0, -7e8])
+        codes, recon, outl = quantize_block(values, np.zeros(3), 1e-9)
+        assert outl.tolist() == [5e8, -7e8]
+
+    def test_cast_dtype_guard_catches_float32_rounding(self):
+        # recon = pred is within eb of the value in float64, but float32
+        # rounding (spacing 0.0625 at 1e6) pushes it past the bound
+        eb = 0.04
+        value = np.array([1e6], dtype=np.float64)
+        pred = np.array([1e6 - 0.033])
+        codes, recon, outl = quantize_block(value, pred, eb, cast_dtype=np.float32)
+        assert codes[0] == OUTLIER_CODE
+        assert recon[0] == value[0]
+        # without the cast guard it would have been accepted
+        codes64, _, _ = quantize_block(value, pred, eb, cast_dtype=np.float64)
+        assert codes64[0] != OUTLIER_CODE
+
+    def test_roundtrip_block(self, rng):
+        values = rng.standard_normal(500)
+        preds = values + rng.uniform(-0.1, 0.1, 500)
+        codes, recon, outl = quantize_block(values, preds, 1e-4)
+        recon2 = reconstruct_block(codes, preds, 1e-4, outl)
+        np.testing.assert_array_equal(recon, recon2)
+
+    def test_multidimensional_input(self, rng):
+        values = rng.standard_normal((8, 9))
+        preds = np.zeros((8, 9))
+        codes, recon, _ = quantize_block(values, preds, 0.01)
+        assert codes.shape == (8, 9)
+        assert np.all(np.abs(values - recon) <= 0.01)
+
+
+class TestLinearQuantizerState:
+    def test_multi_pass_roundtrip(self, rng):
+        q = LinearQuantizer()
+        values = [rng.standard_normal(50), rng.standard_normal((4, 6))]
+        preds = [np.zeros(50), np.zeros((4, 6))]
+        recons = [q.quantize(v, p, 1e-2) for v, p in zip(values, preds)]
+        codes, outliers = q.harvest()
+        assert codes.size == 50 + 24
+
+        d = LinearQuantizer(codes=codes, outliers=outliers)
+        out0 = d.dequantize(50, preds[0], 1e-2)
+        out1 = d.dequantize(24, preds[1], 1e-2)
+        np.testing.assert_array_equal(out0, recons[0])
+        np.testing.assert_array_equal(out1, recons[1])
+        assert out1.shape == (4, 6)
+
+    def test_outliers_interleaved_across_passes(self, rng):
+        q = LinearQuantizer()
+        v1 = np.array([1e9, 0.0])
+        v2 = np.array([0.0, -1e9])
+        q.quantize(v1, np.zeros(2), 1e-6)
+        q.quantize(v2, np.zeros(2), 1e-6)
+        codes, outliers = q.harvest()
+        assert outliers.tolist() == [1e9, -1e9]
+        d = LinearQuantizer(codes=codes, outliers=outliers)
+        np.testing.assert_array_equal(d.dequantize(2, np.zeros(2), 1e-6), v1)
+        np.testing.assert_array_equal(d.dequantize(2, np.zeros(2), 1e-6), v2)
+
+    def test_exhausted_codes_raise(self):
+        from repro.errors import DecompressionError
+
+        d = LinearQuantizer(codes=np.zeros(1, dtype=np.int64),
+                            outliers=np.zeros(1))
+        d.dequantize(1, np.zeros(1), 1e-3)
+        with pytest.raises(DecompressionError):
+            d.dequantize(1, np.zeros(1), 1e-3)
+
+    def test_empty_harvest(self):
+        codes, outliers = LinearQuantizer().harvest()
+        assert codes.size == 0 and outliers.size == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=2**31),
+    st.floats(min_value=1e-9, max_value=10.0),
+    st.integers(min_value=1, max_value=500),
+)
+def test_bound_invariant_property(seed, eb, n):
+    """|value - recon| <= eb for every point, any (values, preds, eb)."""
+    rng = np.random.default_rng(seed)
+    values = rng.standard_normal(n) * 10.0 ** rng.integers(-3, 4)
+    preds = values + rng.standard_normal(n) * 10.0 ** rng.integers(-6, 3)
+    codes, recon, outl = quantize_block(values, preds, eb)
+    assert np.all(np.abs(values - recon) <= eb)
+    recon2 = reconstruct_block(codes, preds, eb, outl)
+    np.testing.assert_array_equal(recon, recon2)
