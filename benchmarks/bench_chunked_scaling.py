@@ -1,0 +1,59 @@
+"""Chunked container scaling: CR / throughput / random-access cost vs chunk size.
+
+Not a paper figure — characterizes the out-of-core subsystem added on top
+of the reproduction (DESIGN.md §5, EXPERIMENTS.md §6).  Smaller chunks
+cost compression ratio (per-chunk headers, shorter prediction contexts)
+but shrink the byte range a single-chunk random access must read; the
+table quantifies that trade on the Miranda stand-in, against the
+unchunked stream as baseline.
+"""
+
+import time
+
+from conftest import bench_dataset, record
+from repro.analysis import format_table
+from repro.chunked import ChunkedFile, compress_chunked
+from repro.compressors.base import get_compressor
+
+CODEC = "sz3"
+CHUNK_EDGES = (16, 24, 32, 48)
+REL_EB = 1e-3
+
+
+def _run():
+    data = bench_dataset("miranda")
+    rows = []
+
+    t0 = time.perf_counter()
+    plain = get_compressor(CODEC).compress(data, rel_error_bound=REL_EB)
+    t_plain = time.perf_counter() - t0
+    rows.append(["unchunked", 1, round(data.nbytes / len(plain), 2),
+                 round(t_plain, 2), 100.0])
+
+    for edge in CHUNK_EDGES:
+        t0 = time.perf_counter()
+        blob = compress_chunked(
+            data, codec=CODEC, chunks=edge, rel_error_bound=REL_EB
+        )
+        dt = time.perf_counter() - t0
+        with ChunkedFile(blob) as f:
+            # bytes read to randomly access the middle chunk, as % of stream
+            mid = f.info.entries[f.n_chunks // 2]
+            access = 100.0 * mid.nbytes / len(blob)
+            n = f.n_chunks
+        rows.append([f"chunks={edge}^3", n,
+                     round(data.nbytes / len(blob), 2), round(dt, 2),
+                     round(access, 2)])
+    return rows
+
+
+def test_chunked_scaling(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    table = format_table(
+        ["config", "n_chunks", "cr", "compress_s", "access_read_%"],
+        rows,
+        title="Chunked container scaling on Miranda (sz3, rel eb 1e-3): "
+        "CR cost of tiling vs random-access read fraction "
+        "(unchunked = whole-stream decode)",
+    )
+    record("chunked_scaling", table)

@@ -5,8 +5,9 @@ framework for scientific floating-point datasets (Liu et al., SC 2022).
 This package implements the QoZ compressor, the SZ3 interpolation compressor
 it extends, the SZ2.1 / ZFP / MGARD+ baselines it is evaluated against, the
 shared quantization + entropy-coding pipeline, quality metrics, synthetic
-stand-ins for the paper's six application datasets, and a parallel dump/load
-performance model.
+stand-ins for the paper's six application datasets, a parallel dump/load
+performance model, and a chunked out-of-core container with random-access
+decompression (:mod:`repro.chunked`, ``python -m repro``).
 
 Quickstart::
 
@@ -41,6 +42,11 @@ _LAZY = {
     "ZFP": "repro.compressors.zfp",
     "MGARDPlus": "repro.compressors.mgard",
     "QoZ": "repro.core.qoz",
+    "ChunkedFile": "repro.chunked",
+    "compress_chunked": "repro.chunked",
+    "compress_chunked_to_file": "repro.chunked",
+    "decompress_chunked": "repro.chunked",
+    "read_hyperslab": "repro.chunked",
     "psnr": "repro.metrics",
     "ssim": "repro.metrics",
     "error_autocorrelation": "repro.metrics",

@@ -1,0 +1,243 @@
+"""Command-line interface: ``python -m repro {compress,decompress,info}``.
+
+The CLI is the out-of-core entry point to the chunked subsystem
+(:mod:`repro.chunked`): ``compress`` memory-maps ``.npy`` inputs and
+streams one compressed chunk at a time to disk, ``decompress`` streams
+chunks into a ``.npy`` memmap (or extracts just a hyperslab), and ``info``
+reports header/chunk-index metadata without decoding any payload.  Peak
+memory is therefore bounded by the chunk size (times the process-pool
+batch when ``--processes`` > 1), not the field size.
+
+Examples::
+
+    python -m repro compress field.npy field.rpz --codec qoz --chunks 256 --rel-eb 1e-3
+    python -m repro compress dataset:miranda:48x64x64 field.rpz --codec sz3 --rel-eb 1e-3
+    python -m repro info field.rpz --list-chunks
+    python -m repro decompress field.rpz recon.npy
+    python -m repro decompress field.rpz slab.npy --slab 0:16,:,8:24
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+def _parse_chunks(text: str):
+    try:
+        parts = tuple(int(p) for p in text.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad chunk spec {text!r}; expected e.g. '256' or '64,64,32'"
+        )
+    # a single value broadcasts to every axis (rank unknown until load)
+    return parts[0] if len(parts) == 1 else parts
+
+
+def _parse_slab(text: str) -> Tuple[slice, ...]:
+    """'0:16,:,8:24' -> (slice(0,16), slice(None), slice(8,24))."""
+    out = []
+    for part in text.split(","):
+        bits = part.split(":")
+        if len(bits) == 1 and bits[0]:
+            start = int(bits[0])
+            # -1 must mean "the last element", not the empty slice(-1, 0)
+            stop = start + 1 if start != -1 else None
+            out.append(slice(start, stop))
+        elif len(bits) == 2:
+            out.append(
+                slice(
+                    int(bits[0]) if bits[0] else None,
+                    int(bits[1]) if bits[1] else None,
+                )
+            )
+        else:
+            raise argparse.ArgumentTypeError(
+                f"bad slab spec {text!r}; expected e.g. '0:16,:,8:24'"
+            )
+    return tuple(out)
+
+
+def _load_input(spec: str) -> np.ndarray:
+    """A ``.npy`` path (memory-mapped) or ``dataset:NAME[:DxHxW[:SEED]]``."""
+    if spec.startswith("dataset:"):
+        from repro.datasets import get_dataset
+
+        parts = spec.split(":")
+        name = parts[1]
+        shape = None
+        seed = 0
+        if len(parts) > 2 and parts[2]:
+            shape = tuple(int(n) for n in parts[2].split("x"))
+        if len(parts) > 3:
+            seed = int(parts[3])
+        return get_dataset(name, shape=shape, seed=seed)
+    return np.load(spec, mmap_mode="r")
+
+
+def _eb_kwargs(args) -> dict:
+    if (args.abs_eb is None) == (args.rel_eb is None):
+        raise SystemExit("error: give exactly one of --abs-eb / --rel-eb")
+    if args.abs_eb is not None:
+        return {"error_bound": args.abs_eb}
+    return {"rel_error_bound": args.rel_eb}
+
+
+def _cmd_compress(args) -> int:
+    from repro.chunked import compress_chunked_to_file
+
+    data = _load_input(args.input)
+    t0 = time.perf_counter()
+    info = compress_chunked_to_file(
+        data,
+        args.output,
+        codec=args.codec,
+        chunks=args.chunks,
+        processes=args.processes,
+        **_eb_kwargs(args),
+    )
+    dt = time.perf_counter() - t0
+    raw = int(np.prod(info.grid.shape)) * info.header.dtype.itemsize
+    total = info.total_bytes
+    print(f"wrote {args.output}: {total} bytes from {raw} "
+          f"({raw / max(1, total):.2f}x) in {dt:.2f}s")
+    print(f"codec={args.codec} shape={info.grid.shape} "
+          f"chunks={info.grid.chunk_shape} grid={info.grid.grid_shape} "
+          f"({info.grid.n_chunks} chunk(s)) abs_eb={info.header.error_bound:.3g}")
+    return 0
+
+
+def _cmd_decompress(args) -> int:
+    from repro.chunked import ChunkedFile
+    from repro.compressors.base import decompress_any
+    from repro.core.header import parse_header
+
+    with open(args.input, "rb") as fh:
+        head = fh.read(64)
+    header, _ = parse_header(head)
+    t0 = time.perf_counter()
+    if not header.is_chunked:
+        with open(args.input, "rb") as fh:
+            recon = decompress_any(fh.read())
+        if args.slab is not None:
+            from repro.chunked import grid_for
+
+            # same slab validation/semantics as the chunked path (clean
+            # rank-mismatch errors instead of raw IndexErrors)
+            recon = recon[grid_for(recon.shape, recon.shape).normalize_slab(args.slab)]
+        np.save(args.output, recon)
+        shape = recon.shape
+    else:
+        with ChunkedFile(args.input) as f:
+            if args.slab is not None:
+                slab = f.grid.normalize_slab(args.slab)
+                out = f.read(slab)
+                np.save(args.output, out)
+                shape = out.shape
+            else:
+                f.to_npy(args.output)
+                shape = f.shape
+    dt = time.perf_counter() - t0
+    print(f"wrote {args.output}: shape={tuple(shape)} "
+          f"dtype={header.dtype} in {dt:.2f}s")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    import os
+
+    from repro.core.header import parse_header
+    from repro.core.stream import summarize_header
+
+    with open(args.input, "rb") as fh:
+        head = fh.read(64)
+    header, _ = parse_header(head)
+    if header.is_chunked:
+        from repro.chunked import ChunkedFile
+
+        with ChunkedFile(args.input) as f:
+            info = f.describe()
+            entries = f.info.entries if args.list_chunks else None
+    else:
+        # header + on-disk size only; the payload is never read
+        info = summarize_header(header, os.path.getsize(args.input))
+        entries = None
+    width = max(len(k) for k in info)
+    for key, value in info.items():
+        if isinstance(value, float):
+            value = f"{value:.4g}"
+        print(f"{key.ljust(width)}  {value}")
+    if entries is not None:
+        from repro.analysis import format_table
+
+        rows = [
+            [i, str(e.start), str(e.shape), e.offset, e.nbytes]
+            for i, e in enumerate(entries)
+        ]
+        print()
+        print(format_table(["chunk", "start", "shape", "offset", "bytes"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Chunked error-bounded compression of scientific arrays.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    c = sub.add_parser(
+        "compress",
+        help="tile + compress a field into a chunked container",
+    )
+    c.add_argument("input", help=".npy file (memory-mapped) or dataset:NAME[:DxHxW[:SEED]]")
+    c.add_argument("output", help="output container path")
+    c.add_argument("--codec", default="qoz", help="registered codec name (default: qoz)")
+    c.add_argument("--chunks", type=_parse_chunks, default=None,
+                   help="chunk shape, e.g. '256' or '64,64,32' (default 256/axis)")
+    c.add_argument("--abs-eb", type=float, default=None, help="absolute error bound")
+    c.add_argument("--rel-eb", type=float, default=None,
+                   help="value-range-relative error bound")
+    c.add_argument("--processes", type=int, default=1,
+                   help="process-pool width for chunk fan-out (default 1)")
+    c.set_defaults(func=_cmd_compress)
+
+    d = sub.add_parser(
+        "decompress",
+        help="stream-decode a container to .npy (optionally just a hyperslab)",
+    )
+    d.add_argument("input", help="compressed container (or plain stream) path")
+    d.add_argument("output", help="output .npy path")
+    d.add_argument("--slab", type=_parse_slab, default=None,
+                   help="hyperslab to extract, e.g. '0:16,:,8:24' "
+                        "(use --slab=-1,... for leading negative indices)")
+    d.set_defaults(func=_cmd_decompress)
+
+    i = sub.add_parser("info", help="print stream metadata (no payload decode)")
+    i.add_argument("input", help="compressed stream path")
+    i.add_argument("--list-chunks", action="store_true",
+                   help="also print the per-chunk index table")
+    i.set_defaults(func=_cmd_info)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (ReproError, KeyError, OSError, ValueError) as exc:
+        # user-input problems (bad codec name, unreadable file, malformed
+        # stream, chunk/rank mismatch) get one clean line, not a traceback
+        msg = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
+        print(f"error: {msg}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

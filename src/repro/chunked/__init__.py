@@ -1,0 +1,47 @@
+"""Chunked out-of-core compression: tiling, container format, random access.
+
+The unchunked path (:mod:`repro.compressors`) compresses one whole array
+per call, so memory scales with the domain and decompression is
+all-or-nothing.  This package tiles an N-D field into configurable blocks
+(default 256 per axis), compresses each block independently through any
+registered codec under one shared absolute error bound, and packs the
+results into a self-describing multi-chunk container (RPZ1 v2 with a
+chunk index) — enabling out-of-core compression, process-pool fan-out
+over chunks, and random access to single chunks or hyperslabs without
+reading the rest of the stream.  See DESIGN.md §5.
+
+Quickstart::
+
+    from repro.chunked import compress_chunked, ChunkedFile
+
+    blob = compress_chunked(data, codec="qoz", chunks=64, rel_error_bound=1e-3)
+    with ChunkedFile(blob) as f:
+        sub = f.read((slice(0, 16), None, slice(8, 24)))  # hyperslab
+"""
+
+from repro.chunked.api import (
+    ChunkedFile,
+    compress_chunked,
+    compress_chunked_to_file,
+    decompress_chunk,
+    decompress_chunked,
+    read_hyperslab,
+)
+from repro.chunked.container import ChunkedWriter, ContainerInfo, read_container_info
+from repro.chunked.tiling import DEFAULT_CHUNK, ChunkGrid, grid_for, normalize_chunk_shape
+
+__all__ = [
+    "ChunkedFile",
+    "ChunkedWriter",
+    "ChunkGrid",
+    "ContainerInfo",
+    "DEFAULT_CHUNK",
+    "compress_chunked",
+    "compress_chunked_to_file",
+    "decompress_chunk",
+    "decompress_chunked",
+    "grid_for",
+    "normalize_chunk_shape",
+    "read_container_info",
+    "read_hyperslab",
+]

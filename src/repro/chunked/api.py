@@ -1,0 +1,319 @@
+"""High-level chunked compression API (out-of-core, random access).
+
+:func:`compress_chunked` tiles a field into blocks (default 256 per axis),
+compresses every block independently through any registered codec under
+ONE absolute error bound (relative bounds are resolved against the *full*
+field's value range, so the container honors exactly the bound the
+unchunked path would), and packs them into a multi-chunk container.
+
+:class:`ChunkedFile` is the read side: it parses only the header and the
+chunk index, then decodes individual chunks or arbitrary hyperslabs on
+demand — reading just the byte ranges of the chunks touched.
+
+Memory behavior: the file-to-file paths (``compress_chunked_to_file`` with
+a ``np.memmap`` input, ``ChunkedFile.to_npy``) keep peak memory bounded by
+a small multiple of one chunk, which is what lets ``python -m repro``
+handle fields larger than RAM.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import BinaryIO, Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.chunked.container import (
+    ChunkedWriter,
+    ContainerInfo,
+    as_fileobj,
+    read_chunk_bytes,
+    read_container_info,
+)
+from repro.chunked.tiling import ChunkGrid, Slab, grid_for
+from repro.compressors.base import codec_name_for_id, decompress_any, get_compressor
+from repro.errors import CompressionError
+from repro.utils import SUPPORTED_DTYPES, validate_error_bound
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def _resolve_eb_streaming(
+    data: np.ndarray,
+    grid: ChunkGrid,
+    error_bound: Optional[float],
+    rel_error_bound: Optional[float],
+) -> float:
+    """Absolute bound for the whole field, scanning at most a chunk at a time.
+
+    Mirrors :func:`repro.utils.resolve_error_bound` (including the
+    constant-field fallback) but never materializes more than one chunk,
+    so memory-mapped inputs stay out of core.
+    """
+    if (error_bound is None) == (rel_error_bound is None):
+        raise CompressionError(
+            "specify exactly one of error_bound= or rel_error_bound="
+        )
+    if error_bound is not None:
+        return validate_error_bound(error_bound)
+    rel = validate_error_bound(rel_error_bound)
+    lo, hi = np.inf, -np.inf
+    for i in grid:
+        chunk = np.asarray(data[grid.chunk_slices(i)])
+        if not np.all(np.isfinite(chunk)):
+            raise CompressionError("data contains non-finite values")
+        lo = min(lo, float(chunk.min()))
+        hi = max(hi, float(chunk.max()))
+    vrange = hi - lo
+    if vrange == 0.0:
+        scale = abs(lo) or 1.0
+        return rel * scale
+    return rel * vrange
+
+
+def _validate_field(data) -> np.ndarray:
+    """Shape/dtype validation that does NOT copy (mmap-friendly)."""
+    data = np.asanyarray(data)
+    if data.dtype not in SUPPORTED_DTYPES:
+        raise CompressionError(
+            f"data must be float32 or float64, got dtype {data.dtype}"
+        )
+    if data.size == 0:
+        raise CompressionError("data must be non-empty")
+    if data.ndim < 1 or data.ndim > 4:
+        raise CompressionError(f"data must have 1..4 dimensions, got {data.ndim}")
+    return data
+
+
+def compress_chunked_to_file(
+    data: np.ndarray,
+    file: Union[PathLike, BinaryIO],
+    codec: str = "qoz",
+    chunks: Union[int, Sequence[int], None] = None,
+    codec_kwargs: Optional[Dict] = None,
+    error_bound: Optional[float] = None,
+    rel_error_bound: Optional[float] = None,
+    processes: Optional[int] = None,
+) -> ContainerInfo:
+    """Tile ``data``, compress every chunk, stream a container to ``file``.
+
+    ``data`` may be any array-like with numpy indexing — in particular a
+    ``np.load(..., mmap_mode='r')`` memmap, in which case only one chunk
+    (per worker) is ever resident.  ``processes=None`` (the default)
+    compresses in-process; with ``processes > 1``, chunk jobs fan out over
+    a process pool (:func:`repro.parallel.executor.compress_chunks_parallel`)
+    in bounded batches so memory stays proportional to the batch, not the
+    field.
+    """
+    data = _validate_field(data)
+    codec_kwargs = codec_kwargs or {}
+    codec_inst = get_compressor(codec, **codec_kwargs)
+    grid = grid_for(data.shape, chunks)
+    eb = _resolve_eb_streaming(data, grid, error_bound, rel_error_bound)
+
+    own = isinstance(file, (str, bytes)) or hasattr(file, "__fspath__")
+    fh: BinaryIO = open(file, "wb") if own else file
+    try:
+        with ChunkedWriter(fh, codec_inst.codec_id, data.dtype, grid, eb) as w:
+            if processes in (None, 0, 1) or grid.n_chunks <= 1:
+                for i in grid:
+                    chunk = np.ascontiguousarray(data[grid.chunk_slices(i)])
+                    w.write_chunk(i, codec_inst.compress(chunk, error_bound=eb))
+            else:
+                from repro.parallel.executor import compress_chunks_streaming
+
+                jobs = (
+                    (i, np.ascontiguousarray(data[grid.chunk_slices(i)]))
+                    for i in grid
+                )
+                for i, blob in compress_chunks_streaming(
+                    jobs,
+                    codec,
+                    codec_kwargs=codec_kwargs,
+                    error_bound=eb,
+                    processes=processes,
+                ):
+                    w.write_chunk(i, blob)
+            info = w.finalize()
+    finally:
+        if own:
+            fh.close()
+    return info
+
+
+def compress_chunked(
+    data: np.ndarray,
+    codec: str = "qoz",
+    chunks: Union[int, Sequence[int], None] = None,
+    codec_kwargs: Optional[Dict] = None,
+    error_bound: Optional[float] = None,
+    rel_error_bound: Optional[float] = None,
+    processes: Optional[int] = None,
+) -> bytes:
+    """In-memory variant of :func:`compress_chunked_to_file`."""
+    import io
+
+    buf = io.BytesIO()
+    compress_chunked_to_file(
+        data,
+        buf,
+        codec=codec,
+        chunks=chunks,
+        codec_kwargs=codec_kwargs,
+        error_bound=error_bound,
+        rel_error_bound=rel_error_bound,
+        processes=processes,
+    )
+    return buf.getvalue()
+
+
+class ChunkedFile:
+    """Random-access reader over a chunked container (bytes, path, or file).
+
+    Parsing touches only the header and the chunk index; chunk payloads
+    are read lazily, one byte range per chunk.
+    """
+
+    def __init__(self, source: Union[bytes, PathLike, BinaryIO]) -> None:
+        if isinstance(source, str) or hasattr(source, "__fspath__"):
+            self._file: BinaryIO = open(source, "rb")
+            self._own = True
+        else:
+            self._file, self._own = as_fileobj(source)
+        try:
+            self.info: ContainerInfo = read_container_info(self._file)
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------- metadata
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.info.header.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.info.header.dtype
+
+    @property
+    def error_bound(self) -> float:
+        return self.info.header.error_bound
+
+    @property
+    def codec_name(self) -> str:
+        return codec_name_for_id(self.info.header.codec_id)
+
+    @property
+    def grid(self) -> ChunkGrid:
+        return self.info.grid
+
+    @property
+    def n_chunks(self) -> int:
+        return self.info.grid.n_chunks
+
+    def describe(self) -> Dict:
+        """Summary dict (used by ``python -m repro info``)."""
+        sizes = [e.nbytes for e in self.info.entries]
+        raw = int(np.prod(self.shape)) * self.dtype.itemsize
+        return {
+            "format": "chunked container (RPZ1 v%d)" % self.info.header.version,
+            "codec": self.codec_name,
+            "dtype": str(self.dtype),
+            "shape": self.shape,
+            "error_bound": self.error_bound,
+            "chunk_shape": self.grid.chunk_shape,
+            "grid_shape": self.grid.grid_shape,
+            "n_chunks": self.n_chunks,
+            "compressed_bytes": self.info.total_bytes,
+            "raw_bytes": raw,
+            "compression_ratio": raw / max(1, self.info.total_bytes),
+            "chunk_bytes_min": min(sizes),
+            "chunk_bytes_mean": float(np.mean(sizes)),
+            "chunk_bytes_max": max(sizes),
+        }
+
+    # ---------------------------------------------------------- chunk reads
+    def chunk_slices(self, index: int) -> Tuple[slice, ...]:
+        """Region of the full array covered by chunk ``index``."""
+        return self.info.entries[index].slices
+
+    def chunk_bytes(self, index: int) -> bytes:
+        """Compressed stream of one chunk (reads only its byte range)."""
+        return read_chunk_bytes(self._file, self.info, index)
+
+    def chunk(self, index: int) -> np.ndarray:
+        """Decode one chunk."""
+        return decompress_any(self.chunk_bytes(index))
+
+    # ----------------------------------------------------------- hyperslabs
+    def read(self, slab: Slab) -> np.ndarray:
+        """Extract an arbitrary hyperslab, decoding only intersecting chunks."""
+        grid = self.grid
+        slab = grid.normalize_slab(slab)
+        out = np.empty(
+            tuple(s.stop - s.start for s in slab), dtype=self.dtype
+        )
+        for i in grid.chunks_for_slab(slab):
+            entry = self.info.entries[i]
+            chunk = self.chunk(i)
+            # intersection of chunk region and slab, in both frames
+            src, dst = [], []
+            for cs, ce, sl in zip(entry.start, entry.shape, slab):
+                lo = max(cs, sl.start)
+                hi = min(cs + ce, sl.stop)
+                src.append(slice(lo - cs, hi - cs))
+                dst.append(slice(lo - sl.start, hi - sl.start))
+            out[tuple(dst)] = chunk[tuple(src)]
+        return out
+
+    def to_array(self) -> np.ndarray:
+        """Decode the whole field."""
+        out = np.empty(self.shape, dtype=self.dtype)
+        for i in self.grid:
+            out[self.chunk_slices(i)] = self.chunk(i)
+        return out
+
+    def to_npy(self, path: PathLike) -> None:
+        """Stream-decode into a ``.npy`` file, one chunk resident at a time."""
+        out = np.lib.format.open_memmap(
+            path, mode="w+", dtype=self.dtype, shape=self.shape
+        )
+        try:
+            for i in self.grid:
+                out[self.chunk_slices(i)] = self.chunk(i)
+            out.flush()
+        finally:
+            del out
+
+    # -------------------------------------------------------------- plumbing
+    def close(self) -> None:
+        if self._own:
+            self._file.close()
+
+    def __enter__(self) -> "ChunkedFile":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def decompress_chunked(source: Union[bytes, PathLike, BinaryIO]) -> np.ndarray:
+    """Decode a whole chunked container back into an array."""
+    with ChunkedFile(source) as f:
+        return f.to_array()
+
+
+def decompress_chunk(
+    source: Union[bytes, PathLike, BinaryIO], index: int
+) -> Tuple[Tuple[slice, ...], np.ndarray]:
+    """Decode one chunk; returns ``(slices_in_full_array, chunk_array)``."""
+    with ChunkedFile(source) as f:
+        return f.chunk_slices(index), f.chunk(index)
+
+
+def read_hyperslab(
+    source: Union[bytes, PathLike, BinaryIO], slab: Slab
+) -> np.ndarray:
+    """Decode an arbitrary hyperslab from a chunked container."""
+    with ChunkedFile(source) as f:
+        return f.read(slab)

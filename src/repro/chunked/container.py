@@ -1,0 +1,202 @@
+"""Byte-level layout of the multi-chunk container (RPZ1 v2, FLAG_CHUNKED).
+
+A container is::
+
+    fixed header (magic, version, inner codec id, dtype, array shape,
+                  FLAG_CHUNKED, absolute error bound)
+    chunk index  (nominal chunk shape + per-chunk start/shape/offset/len)
+    chunk data   (each chunk an ordinary self-describing codec stream)
+
+The index has a fixed size for a given (ndim, n_chunks), so
+:class:`ChunkedWriter` reserves it up front, streams compressed chunks to
+the file as they arrive (bounding peak memory by one chunk), and patches
+the index in :meth:`ChunkedWriter.finalize`.  Chunk byte offsets are
+relative to the first byte after the index, so reading chunk *i* touches
+exactly ``entries[i].nbytes`` payload bytes — the basis of the random
+access guarantee tested in ``tests/chunked``.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from dataclasses import dataclass
+from typing import BinaryIO, List, Optional, Union
+
+import numpy as np
+
+from repro.chunked.tiling import ChunkGrid
+from repro.core.header import (
+    FLAG_CHUNKED,
+    ChunkEntry,
+    StreamHeader,
+    chunk_index_size,
+    pack_chunk_index,
+    pack_header,
+    parse_header,
+    unpack_chunk_index,
+)
+from repro.errors import CompressionError, DecompressionError
+
+
+@dataclass(frozen=True)
+class ContainerInfo:
+    """Parsed metadata of a chunked container (no chunk payloads)."""
+
+    header: StreamHeader
+    grid: ChunkGrid
+    entries: List[ChunkEntry]
+    data_start: int  # absolute byte offset of the first chunk payload
+
+    @property
+    def total_bytes(self) -> int:
+        """Container size implied by the index (header + index + data)."""
+        return self.data_start + sum(e.nbytes for e in self.entries)
+
+
+class ChunkedWriter:
+    """Streams a chunked container to a seekable binary file object.
+
+    Chunks may be written in any order (each exactly once); they are laid
+    out in the file in write order, and the index records where each one
+    landed.  Call :meth:`finalize` (or use as a context manager) to patch
+    the reserved index region.
+    """
+
+    def __init__(
+        self,
+        fileobj: BinaryIO,
+        codec_id: int,
+        dtype: np.dtype,
+        grid: ChunkGrid,
+        error_bound: float,
+    ) -> None:
+        self._file = fileobj
+        self._grid = grid
+        self._base = fileobj.tell()
+        self._header = StreamHeader(
+            codec_id=codec_id,
+            dtype=np.dtype(dtype),
+            shape=grid.shape,
+            error_bound=float(error_bound),
+            flags=FLAG_CHUNKED,
+        )
+        head = pack_header(
+            codec_id, dtype, grid.shape, error_bound, flags=FLAG_CHUNKED
+        )
+        fileobj.write(head)
+        self._index_pos = fileobj.tell()
+        self._index_size = chunk_index_size(len(grid.shape), grid.n_chunks)
+        fileobj.write(b"\x00" * self._index_size)
+        self._data_start = fileobj.tell()
+        self._next_offset = 0
+        self._entries: List[Optional[ChunkEntry]] = [None] * grid.n_chunks
+        self._finalized = False
+
+    def write_chunk(self, index: int, blob: bytes) -> None:
+        """Append one compressed chunk's stream to the data area."""
+        if self._finalized:
+            raise CompressionError("writer already finalized")
+        if self._entries[index] is not None:
+            raise CompressionError(f"chunk {index} written twice")
+        self._file.seek(self._data_start + self._next_offset)
+        self._file.write(blob)
+        self._entries[index] = ChunkEntry(
+            start=self._grid.chunk_start(index),
+            shape=self._grid.chunk_shape_at(index),
+            offset=self._next_offset,
+            nbytes=len(blob),
+        )
+        self._next_offset += len(blob)
+
+    def finalize(self) -> ContainerInfo:
+        """Patch the chunk index and return the container metadata."""
+        missing = [i for i, e in enumerate(self._entries) if e is None]
+        if missing:
+            raise CompressionError(
+                f"cannot finalize: {len(missing)} chunk(s) never written "
+                f"(first missing: {missing[0]})"
+            )
+        self._file.seek(self._index_pos)
+        index = pack_chunk_index(self._grid.chunk_shape, self._entries)
+        assert len(index) == self._index_size
+        self._file.write(index)
+        self._file.seek(self._data_start + self._next_offset)
+        self._finalized = True
+        return ContainerInfo(
+            header=self._header,
+            grid=self._grid,
+            entries=list(self._entries),
+            data_start=self._data_start,
+        )
+
+    def __enter__(self) -> "ChunkedWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None and not self._finalized:
+            self.finalize()
+
+
+def parse_header_from(fileobj: BinaryIO, base: int = 0):
+    """Parse the fixed header of a stream stored in a seekable file."""
+    fileobj.seek(base)
+    # fixed header + up to 4 dims is < 64 bytes in every version
+    blob = fileobj.read(64)
+    return parse_header(blob)
+
+
+def read_container_info(fileobj: BinaryIO, base: int = 0) -> ContainerInfo:
+    """Parse header + chunk index of a container without touching chunk data."""
+    header, off = parse_header_from(fileobj, base)
+    if not header.is_chunked:
+        raise DecompressionError(
+            "stream is not a chunked container (FLAG_CHUNKED clear); "
+            "use repro.compressors.base.decompress_any"
+        )
+    ndim = len(header.shape)
+    fileobj.seek(base + off)
+    # the index size is known once n_chunks is — read its fixed prelude,
+    # then the entries
+    prelude = fileobj.read(4 * ndim + 8)
+    if len(prelude) < 4 * ndim + 8:
+        raise DecompressionError("stream truncated in chunk index header")
+    (count,) = struct.unpack_from("<Q", prelude, 4 * ndim)
+    entry_bytes = count * (12 * ndim + 16)
+    body = fileobj.read(entry_bytes)
+    chunk_shape, entries, _ = unpack_chunk_index(prelude + body, 0, ndim)
+    grid = ChunkGrid(header.shape, chunk_shape)
+    if grid.n_chunks != len(entries):
+        raise DecompressionError(
+            f"chunk index has {len(entries)} entries but the grid implies "
+            f"{grid.n_chunks}"
+        )
+    data_start = base + off + chunk_index_size(ndim, len(entries))
+    return ContainerInfo(
+        header=header, grid=grid, entries=entries, data_start=data_start
+    )
+
+
+def read_chunk_bytes(
+    fileobj: BinaryIO, info: ContainerInfo, index: int
+) -> bytes:
+    """Read exactly one chunk's compressed stream (a seek + one read)."""
+    entry = info.entries[index]
+    fileobj.seek(info.data_start + entry.offset)
+    blob = fileobj.read(entry.nbytes)
+    if len(blob) != entry.nbytes:
+        raise DecompressionError(
+            f"chunk {index} truncated: expected {entry.nbytes} bytes, "
+            f"got {len(blob)}"
+        )
+    return blob
+
+
+def as_fileobj(source: Union[bytes, bytearray, memoryview, BinaryIO]):
+    """Wrap bytes in a BytesIO; pass file objects through.
+
+    Returns ``(fileobj, should_close)``.
+    """
+    if isinstance(source, (bytes, bytearray, memoryview)):
+        return io.BytesIO(bytes(source)), True
+    return source, False

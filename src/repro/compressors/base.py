@@ -46,12 +46,28 @@ def get_compressor(name: str, **kwargs) -> "Compressor":
 
 
 def decompress_any(blob: bytes) -> np.ndarray:
-    """Decompress a stream produced by any registered codec."""
+    """Decompress a stream produced by any registered codec.
+
+    Routes both plain streams and chunked containers
+    (:mod:`repro.chunked`) — the header's ``FLAG_CHUNKED`` decides.
+    """
     _ensure_loaded()
     header, _ = parse_header(blob)
+    if header.is_chunked:
+        from repro.chunked import decompress_chunked
+
+        return decompress_chunked(blob)
     if header.codec_id not in _BY_ID:
         raise DecompressionError(f"unknown codec id {header.codec_id}")
     return _BY_ID[header.codec_id]().decompress(blob)
+
+
+def codec_name_for_id(codec_id: int) -> str:
+    """Registry name of a stream codec id (e.g. ``2 -> 'qoz'``)."""
+    _ensure_loaded()
+    if codec_id not in _BY_ID:
+        raise KeyError(f"unknown codec id {codec_id}")
+    return _BY_ID[codec_id].name
 
 
 def _ensure_loaded() -> None:
@@ -88,8 +104,13 @@ class Compressor(ABC):
         return pack_header(self.codec_id, data.dtype, data.shape, eb) + payload
 
     def decompress(self, blob: bytes) -> np.ndarray:
-        """Decompress a stream produced by this codec."""
+        """Decompress a plain stream produced by this codec."""
         header, offset = parse_header(blob)
+        if header.is_chunked:
+            raise DecompressionError(
+                "stream is a chunked container; use decompress_any() or "
+                "repro.chunked.decompress_chunked()"
+            )
         if header.codec_id != self.codec_id:
             raise DecompressionError(
                 f"stream was written by codec id {header.codec_id}, "

@@ -1,9 +1,20 @@
 """Self-describing compressed-stream container.
 
 Every codec's output starts with a fixed header (magic, version, codec id,
-dtype, shape, absolute error bound) followed by length-prefixed sections so
-codecs can store as many sub-streams as they need.  Decompression never
-requires out-of-band information.
+dtype, shape, flags, absolute error bound) followed by length-prefixed
+sections so codecs can store as many sub-streams as they need.
+Decompression never requires out-of-band information.
+
+Two stream layouts share the header (``flags`` distinguishes them):
+
+* a **plain stream** — header + one codec payload covering the whole array;
+* a **chunked container** (``FLAG_CHUNKED``) — header + a chunk index
+  (per-chunk start, shape, byte offset, byte length) + the concatenated
+  per-chunk streams, enabling random access without reading the rest of
+  the container (see :mod:`repro.chunked` and DESIGN.md §2/§5).
+
+Version history: v1 had no flags byte and only described plain streams;
+v2 adds ``flags``.  :func:`parse_header` still reads v1 streams.
 """
 
 from __future__ import annotations
@@ -18,8 +29,15 @@ from repro.errors import DecompressionError
 from repro.utils import dtype_code, dtype_from_code
 
 MAGIC = b"RPZ1"
-VERSION = 1
-_FIXED = struct.Struct("<4sBBBBd")  # magic, version, codec, dtype, ndim, eb
+VERSION = 2
+
+#: header flag: the payload is a chunk index + per-chunk streams, not a
+#: single codec payload (``codec_id`` then names the *inner* codec)
+FLAG_CHUNKED = 0x01
+
+_PREFIX = struct.Struct("<4sB")  # magic, version
+_FIXED_V1 = struct.Struct("<4sBBBBd")  # magic, version, codec, dtype, ndim, eb
+_FIXED_V2 = struct.Struct("<4sBBBBBd")  # ... + flags before eb
 
 
 @dataclass(frozen=True)
@@ -30,29 +48,61 @@ class StreamHeader:
     dtype: np.dtype
     shape: Tuple[int, ...]
     error_bound: float
+    version: int = VERSION
+    flags: int = 0
+
+    @property
+    def is_chunked(self) -> bool:
+        """True when the stream is a multi-chunk container."""
+        return bool(self.flags & FLAG_CHUNKED)
 
 
 def pack_header(
-    codec_id: int, dtype: np.dtype, shape: Sequence[int], error_bound: float
+    codec_id: int,
+    dtype: np.dtype,
+    shape: Sequence[int],
+    error_bound: float,
+    flags: int = 0,
 ) -> bytes:
-    """Serialize the fixed header."""
-    head = _FIXED.pack(
-        MAGIC, VERSION, codec_id, dtype_code(dtype), len(shape), float(error_bound)
+    """Serialize the fixed header (always the current version)."""
+    head = _FIXED_V2.pack(
+        MAGIC,
+        VERSION,
+        codec_id,
+        dtype_code(dtype),
+        len(shape),
+        int(flags),
+        float(error_bound),
     )
     dims = struct.pack(f"<{len(shape)}Q", *shape)
     return head + dims
 
 
 def parse_header(blob: bytes) -> Tuple[StreamHeader, int]:
-    """Parse the fixed header; returns (header, payload offset)."""
-    if len(blob) < _FIXED.size:
+    """Parse the fixed header; returns (header, payload offset).
+
+    Accepts every stream version ever written (v1 streams have no flags
+    byte and are never chunked).
+    """
+    if len(blob) < _PREFIX.size:
         raise DecompressionError("stream too short for header")
-    magic, version, codec_id, dcode, ndim, eb = _FIXED.unpack_from(blob, 0)
+    magic, version = _PREFIX.unpack_from(blob, 0)
     if magic != MAGIC:
         raise DecompressionError("bad magic (not a repro stream)")
-    if version != VERSION:
+    if version == 1:
+        fixed = _FIXED_V1
+    elif version == VERSION:
+        fixed = _FIXED_V2
+    else:
         raise DecompressionError(f"unsupported stream version {version}")
-    off = _FIXED.size
+    if len(blob) < fixed.size:
+        raise DecompressionError("stream too short for header")
+    if version == 1:
+        _, _, codec_id, dcode, ndim, eb = fixed.unpack_from(blob, 0)
+        flags = 0
+    else:
+        _, _, codec_id, dcode, ndim, flags, eb = fixed.unpack_from(blob, 0)
+    off = fixed.size
     if len(blob) < off + 8 * ndim:
         raise DecompressionError("stream truncated in shape header")
     shape = struct.unpack_from(f"<{ndim}Q", blob, off)
@@ -63,6 +113,8 @@ def parse_header(blob: bytes) -> Tuple[StreamHeader, int]:
             dtype=dtype_from_code(dcode),
             shape=tuple(int(n) for n in shape),
             error_bound=float(eb),
+            version=int(version),
+            flags=int(flags),
         ),
         off,
     )
@@ -94,3 +146,86 @@ def unpack_sections(blob: bytes, offset: int = 0) -> List[bytes]:
         sections.append(blob[offset : offset + n])
         offset += n
     return sections
+
+
+# --------------------------------------------------------------- chunk index
+#
+# The chunk index sits between the fixed header and the chunk payloads of a
+# FLAG_CHUNKED container.  It has a *fixed, predictable size* for a given
+# (ndim, n_chunks) so a streaming writer can reserve the bytes up front,
+# write chunks as they are compressed, and patch the index afterwards.
+#
+# Layout:  ndim * u32 nominal chunk shape, u64 n_chunks, then per chunk:
+# ndim * u64 start, ndim * u32 shape, u64 byte offset (relative to the
+# first byte after the index), u64 byte length.  Starts are u64 because
+# they range over the full array extent (which the header stores as u64);
+# chunk *shapes* are bounded by the nominal tile size and fit u32.
+
+
+@dataclass(frozen=True)
+class ChunkEntry:
+    """One chunk's placement in the array and in the byte stream."""
+
+    start: Tuple[int, ...]
+    shape: Tuple[int, ...]
+    offset: int  # bytes from the start of the data area
+    nbytes: int
+
+    @property
+    def slices(self) -> Tuple[slice, ...]:
+        """Index of this chunk's region in the full array."""
+        return tuple(slice(s, s + n) for s, n in zip(self.start, self.shape))
+
+
+def chunk_index_size(ndim: int, n_chunks: int) -> int:
+    """Exact byte size of a packed chunk index."""
+    return 4 * ndim + 8 + n_chunks * (12 * ndim + 16)
+
+
+def pack_chunk_index(
+    chunk_shape: Sequence[int], entries: Sequence[ChunkEntry]
+) -> bytes:
+    """Serialize the chunk index (nominal tile shape + per-chunk entries)."""
+    ndim = len(chunk_shape)
+    parts = [
+        struct.pack(f"<{ndim}I", *chunk_shape),
+        struct.pack("<Q", len(entries)),
+    ]
+    for e in entries:
+        parts.append(struct.pack(f"<{ndim}Q", *e.start))
+        parts.append(struct.pack(f"<{ndim}I", *e.shape))
+        parts.append(struct.pack("<QQ", e.offset, e.nbytes))
+    return b"".join(parts)
+
+
+def unpack_chunk_index(
+    blob: bytes, offset: int, ndim: int
+) -> Tuple[Tuple[int, ...], List[ChunkEntry], int]:
+    """Inverse of :func:`pack_chunk_index`.
+
+    Returns ``(chunk_shape, entries, end_offset)``.
+    """
+    if len(blob) < offset + 4 * ndim + 8:
+        raise DecompressionError("stream truncated in chunk index header")
+    chunk_shape = struct.unpack_from(f"<{ndim}I", blob, offset)
+    offset += 4 * ndim
+    (count,) = struct.unpack_from("<Q", blob, offset)
+    offset += 8
+    entry_size = 12 * ndim + 16
+    if len(blob) < offset + count * entry_size:
+        raise DecompressionError("stream truncated in chunk index entries")
+    entries = []
+    for _ in range(count):
+        start = struct.unpack_from(f"<{ndim}Q", blob, offset)
+        shape = struct.unpack_from(f"<{ndim}I", blob, offset + 8 * ndim)
+        off, nbytes = struct.unpack_from("<QQ", blob, offset + 12 * ndim)
+        entries.append(
+            ChunkEntry(
+                start=tuple(int(s) for s in start),
+                shape=tuple(int(n) for n in shape),
+                offset=int(off),
+                nbytes=int(nbytes),
+            )
+        )
+        offset += entry_size
+    return tuple(int(c) for c in chunk_shape), entries, offset

@@ -5,16 +5,20 @@ traversal: anchor stride, quantizer radius, and per-level (method, order,
 error bound); then three data sections — losslessly-coded known points
 (anchors or root), the entropy-coded quantization indices, and the exact
 outlier values.
+
+:func:`describe_stream` is the generic inspection entry point over *any*
+repro stream (plain or chunked container) — it reads only headers and the
+chunk index, never payloads, and backs ``python -m repro info``.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 
 from repro.core.engine import InterpPlan, LevelPlan
-from repro.core.header import pack_sections, unpack_sections
+from repro.core.header import pack_sections, parse_header, unpack_sections
 from repro.encoding.bitstream import BitReader, BitWriter
 from repro.encoding.codec import decode_symbol_stream, encode_symbol_stream
 from repro.encoding.lossless import (
@@ -22,6 +26,51 @@ from repro.encoding.lossless import (
     decompress_floats_lossless,
 )
 from repro.errors import DecompressionError
+
+
+def describe_stream(blob: bytes) -> Dict:
+    """Header-level summary of any repro stream, without decoding payloads.
+
+    For a chunked container the summary includes the chunk grid and
+    per-chunk byte statistics (parsed from the index alone).
+    """
+    header, _ = parse_header(blob)
+    if header.is_chunked:
+        from repro.chunked import ChunkedFile
+
+        with ChunkedFile(blob) as f:
+            info = f.describe()
+        # size the actual blob, not just what the chunk index implies
+        info["compressed_bytes"] = len(blob)
+        info["compression_ratio"] = info["raw_bytes"] / max(1, len(blob))
+        return info
+    return summarize_header(header, len(blob))
+
+
+def summarize_header(header, compressed_bytes: int) -> Dict:
+    """Summary of a plain stream from its parsed header + total size alone.
+
+    Needs no payload bytes, so callers with a file can pass the first 64
+    bytes through :func:`repro.core.header.parse_header` and the on-disk
+    size, never reading the stream body.
+    """
+    from repro.compressors.base import codec_name_for_id
+
+    try:
+        codec = codec_name_for_id(header.codec_id)
+    except KeyError:
+        codec = f"unknown (id {header.codec_id})"
+    raw = int(np.prod(header.shape)) * header.dtype.itemsize
+    return {
+        "format": f"plain stream (RPZ1 v{header.version})",
+        "codec": codec,
+        "dtype": str(header.dtype),
+        "shape": header.shape,
+        "error_bound": header.error_bound,
+        "compressed_bytes": compressed_bytes,
+        "raw_bytes": raw,
+        "compression_ratio": raw / max(1, compressed_bytes),
+    }
 
 
 def _float_bits(x: float) -> int:

@@ -46,7 +46,8 @@ def gaussian_random_field(
     amp = np.zeros_like(k)
     nz = k > 0
     amp[nz] = (np.maximum(k[nz], k0)) ** (-slope / 2.0)
-    field = np.fft.irfftn(spec * amp, s=shape)
+    # NumPy 2.x deprecates s= without an explicit axes= sequence
+    field = np.fft.irfftn(spec * amp, s=shape, axes=tuple(range(len(shape))))
     std = field.std()
     if std > 0:
         field /= std

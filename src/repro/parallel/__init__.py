@@ -10,11 +10,18 @@ for the per-node parallelism we can actually exercise here.
 """
 
 from repro.parallel.iomodel import IOSystemModel, dump_load_series
-from repro.parallel.executor import compress_fields_parallel, decompress_blobs_parallel
+from repro.parallel.executor import (
+    compress_chunks_parallel,
+    compress_chunks_streaming,
+    compress_fields_parallel,
+    decompress_blobs_parallel,
+)
 
 __all__ = [
     "IOSystemModel",
     "dump_load_series",
+    "compress_chunks_parallel",
+    "compress_chunks_streaming",
     "compress_fields_parallel",
     "decompress_blobs_parallel",
 ]

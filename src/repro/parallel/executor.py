@@ -1,16 +1,24 @@
-"""Multi-process compression of many fields (per-node parallelism).
+"""Multi-process compression of many fields or chunks (per-node parallelism).
 
 Scientific dumps contain many independent fields (the paper's RTM has
 3600, Hurricane 48x13); compressing them is embarrassingly parallel.  The
 executor ships (codec name, constructor kwargs, field) tuples to worker
 processes — codecs are reconstructed per worker because compressor
 instances hold per-call state (``last_report``).
+
+The same fan-out applies *within* one field once it is tiled by
+:mod:`repro.chunked`: every chunk is an independent compression job under
+one shared absolute bound (:func:`compress_chunks_parallel`).  Chunk jobs
+are typically smaller and more numerous than field jobs, so they are
+batched onto workers with a map chunksize to amortize IPC.
 """
 
 from __future__ import annotations
 
+import os
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, Optional, Sequence
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -51,6 +59,69 @@ def compress_fields_parallel(
         return [_compress_one(j) for j in jobs]
     with ProcessPoolExecutor(max_workers=processes) as pool:
         return list(pool.map(_compress_one, jobs))
+
+
+def compress_chunks_parallel(
+    chunks: Sequence[np.ndarray],
+    codec_name: str,
+    codec_kwargs: Optional[Dict] = None,
+    error_bound: Optional[float] = None,
+    processes: Optional[int] = None,
+) -> List[bytes]:
+    """Compress the chunks of ONE field with a process-pool fan-out.
+
+    Unlike :func:`compress_fields_parallel`, every job shares a single
+    *absolute* ``error_bound`` — the caller must resolve any relative
+    bound against the full field first, otherwise each chunk would scale
+    the bound by its local value range and the container would not match
+    the unchunked stream's guarantee.  Results keep input order.
+    """
+    if error_bound is None:
+        raise ValueError("compress_chunks_parallel needs an absolute error_bound")
+    codec_kwargs = codec_kwargs or {}
+    jobs = [
+        (codec_name, codec_kwargs, c, {"error_bound": error_bound})
+        for c in chunks
+    ]
+    if processes == 1 or len(jobs) <= 1:
+        return [_compress_one(j) for j in jobs]
+    with ProcessPoolExecutor(max_workers=processes) as pool:
+        workers = processes or os.cpu_count() or 1
+        chunksize = max(1, len(jobs) // (workers * 4))
+        return list(pool.map(_compress_one, jobs, chunksize=chunksize))
+
+
+def compress_chunks_streaming(
+    chunks: "Iterable[Tuple[int, np.ndarray]]",
+    codec_name: str,
+    codec_kwargs: Optional[Dict] = None,
+    error_bound: Optional[float] = None,
+    processes: Optional[int] = None,
+    window: Optional[int] = None,
+):
+    """Yield ``(index, blob)`` for a stream of chunk jobs, in submit order.
+
+    One process pool serves the whole iteration (no per-batch pool
+    startup), and at most ``window`` jobs (default ``4 * workers``) are
+    in flight at a time — so peak memory is bounded by the window, not
+    the field, even when ``chunks`` lazily slices a memory-mapped array.
+    Same absolute-bound contract as :func:`compress_chunks_parallel`.
+    """
+    if error_bound is None:
+        raise ValueError("compress_chunks_streaming needs an absolute error_bound")
+    codec_kwargs = codec_kwargs or {}
+    win = window or 4 * max(1, processes or os.cpu_count() or 1)
+    with ProcessPoolExecutor(max_workers=processes) as pool:
+        pending: Deque = deque()
+        for index, array in chunks:
+            job = (codec_name, codec_kwargs, array, {"error_bound": error_bound})
+            pending.append((index, pool.submit(_compress_one, job)))
+            if len(pending) >= win:
+                i, fut = pending.popleft()
+                yield i, fut.result()
+        while pending:
+            i, fut = pending.popleft()
+            yield i, fut.result()
 
 
 def decompress_blobs_parallel(

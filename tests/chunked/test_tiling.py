@@ -1,0 +1,99 @@
+"""Tests for chunk-grid geometry and hyperslab -> chunk mapping."""
+
+import numpy as np
+import pytest
+
+from repro.chunked.tiling import (
+    DEFAULT_CHUNK,
+    ChunkGrid,
+    grid_for,
+    normalize_chunk_shape,
+)
+from repro.errors import ConfigurationError
+
+
+class TestNormalizeChunkShape:
+    def test_default_is_256_clipped(self):
+        assert normalize_chunk_shape((1000, 100)) == (DEFAULT_CHUNK, 100)
+
+    def test_int_broadcasts(self):
+        assert normalize_chunk_shape((64, 64, 64), 16) == (16, 16, 16)
+
+    def test_sequence_passthrough_clipped(self):
+        assert normalize_chunk_shape((10, 50), (32, 32)) == (10, 32)
+
+    def test_rank_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            normalize_chunk_shape((10, 10), (4, 4, 4))
+
+    def test_nonpositive_edge(self):
+        with pytest.raises(ConfigurationError):
+            normalize_chunk_shape((10, 10), (0, 4))
+
+
+class TestChunkGrid:
+    def test_exact_tiling(self):
+        g = grid_for((32, 16), 16)
+        assert g.grid_shape == (2, 1)
+        assert g.n_chunks == 2
+        assert g.chunk_slices(1) == (slice(16, 32), slice(0, 16))
+
+    def test_edge_chunks_truncated(self):
+        g = grid_for((20, 24, 18), 16)
+        assert g.grid_shape == (2, 2, 2)
+        assert g.chunk_shape_at(g.n_chunks - 1) == (4, 8, 2)
+
+    def test_every_cell_covered_exactly_once(self):
+        g = grid_for((7, 11, 5), (3, 4, 2))
+        counts = np.zeros(g.shape, dtype=int)
+        for i in g:
+            counts[g.chunk_slices(i)] += 1
+        assert np.all(counts == 1)
+
+    def test_index_out_of_range(self):
+        g = grid_for((8, 8), 4)
+        with pytest.raises(IndexError):
+            g.chunk_coords(g.n_chunks)
+
+
+class TestSlabs:
+    def test_normalize_none_and_pairs(self):
+        g = grid_for((10, 20), 8)
+        assert g.normalize_slab((None, (2, 5))) == (slice(0, 10), slice(2, 5))
+
+    def test_negative_indices(self):
+        g = grid_for((10,), 4)
+        assert g.normalize_slab((slice(-4, -1),)) == (slice(6, 9),)
+
+    def test_step_rejected(self):
+        g = grid_for((10,), 4)
+        with pytest.raises(ConfigurationError):
+            g.normalize_slab((slice(0, 10, 2),))
+
+    def test_rank_mismatch(self):
+        g = grid_for((10, 10), 4)
+        with pytest.raises(ConfigurationError):
+            g.normalize_slab((slice(0, 5),))
+
+    def test_chunks_for_slab_matches_brute_force(self):
+        g = grid_for((20, 24, 18), (8, 16, 5))
+        slab = (slice(5, 18), slice(0, 24), slice(10, 15))
+        expect = []
+        for i in g:
+            sel = g.chunk_slices(i)
+            if all(
+                s.start < sl.stop and sl.start < s.stop
+                for s, sl in zip(sel, slab)
+            ):
+                expect.append(i)
+        assert sorted(g.chunks_for_slab(slab)) == expect
+
+    def test_empty_slab_hits_nothing(self):
+        g = grid_for((16, 16), 8)
+        assert g.chunks_for_slab((slice(4, 4), slice(0, 16))) == []
+
+    def test_single_point_slab(self):
+        g = grid_for((16, 16), 8)
+        assert g.chunks_for_slab(((9, 10), (0, 1))) == [
+            int(np.ravel_multi_index((1, 0), g.grid_shape))
+        ]

@@ -1,7 +1,35 @@
-"""Shared pytest fixtures."""
+"""Shared pytest fixtures and subprocess helpers."""
+
+import os
+import pathlib
 
 import numpy as np
 import pytest
+
+#: the package lives under src/ (no install step); every test that spawns
+#: a python subprocess must propagate this on PYTHONPATH explicitly —
+#: the parent's sys.path tweaks do NOT reach child processes
+SRC_DIR = pathlib.Path(__file__).parent.parent / "src"
+
+
+def _env_with_src() -> dict:
+    env = os.environ.copy()
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        str(SRC_DIR) + (os.pathsep + existing if existing else "")
+    )
+    return env
+
+
+@pytest.fixture
+def subprocess_env() -> dict:
+    """os.environ copy with src/ prepended to PYTHONPATH.
+
+    Use this as the ``env=`` of any subprocess that imports ``repro``
+    (a fixture, not an import, so it cannot collide with
+    ``benchmarks/conftest.py`` on sys.path).
+    """
+    return _env_with_src()
 
 
 @pytest.fixture

@@ -1,18 +1,26 @@
 """Tests for stream headers, sections, and interp payload serialization."""
 
+import struct
+
 import numpy as np
 import pytest
 
 from repro.core.engine import InterpPlan, LevelPlan, interp_compress
 from repro.core.header import (
+    FLAG_CHUNKED,
+    VERSION,
+    ChunkEntry,
     StreamHeader,
+    chunk_index_size,
+    pack_chunk_index,
     pack_header,
     pack_sections,
     parse_header,
+    unpack_chunk_index,
     unpack_sections,
 )
 from repro.core.interpolation import CUBIC, LINEAR
-from repro.core.stream import pack_interp_payload, unpack_interp_payload
+from repro.core.stream import describe_stream, pack_interp_payload, unpack_interp_payload
 from repro.errors import DecompressionError
 
 
@@ -39,6 +47,92 @@ class TestHeader:
         blob = pack_header(1, np.dtype(np.float64), (4,), 0.1) + b"PAYLOAD"
         header, off = parse_header(blob)
         assert blob[off:] == b"PAYLOAD"
+
+    def test_flags_roundtrip(self):
+        blob = pack_header(3, np.dtype(np.float32), (8, 8), 0.5,
+                           flags=FLAG_CHUNKED)
+        header, _ = parse_header(blob)
+        assert header.flags == FLAG_CHUNKED
+        assert header.is_chunked
+        assert header.version == VERSION
+
+    def test_version1_layout_parses(self):
+        """Streams written before the flags byte existed still parse."""
+        blob = struct.pack("<4sBBBBd", b"RPZ1", 1, 2, 1, 2, 0.25)
+        blob += struct.pack("<2Q", 8, 16)
+        header, off = parse_header(blob)
+        assert header == StreamHeader(
+            2, np.dtype(np.float64), (8, 16), 0.25, version=1, flags=0
+        )
+        assert not header.is_chunked
+        assert off == len(blob)
+
+    def test_future_version_rejected(self):
+        blob = bytearray(pack_header(1, np.dtype(np.float64), (4,), 0.1))
+        blob[4] = VERSION + 1
+        with pytest.raises(DecompressionError, match="version"):
+            parse_header(bytes(blob))
+
+
+class TestChunkIndex:
+    def test_roundtrip(self):
+        entries = [
+            ChunkEntry(start=(0, 0), shape=(16, 16), offset=0, nbytes=100),
+            ChunkEntry(start=(0, 16), shape=(16, 4), offset=100, nbytes=57),
+        ]
+        blob = b"PRE" + pack_chunk_index((16, 16), entries)
+        chunk_shape, parsed, end = unpack_chunk_index(blob, 3, ndim=2)
+        assert chunk_shape == (16, 16)
+        assert parsed == entries
+        assert end == len(blob)
+
+    def test_size_formula_matches(self):
+        entries = [
+            ChunkEntry(start=(i,), shape=(4,), offset=4 * i, nbytes=4)
+            for i in range(5)
+        ]
+        assert len(pack_chunk_index((4,), entries)) == chunk_index_size(1, 5)
+
+    def test_truncation_detected(self):
+        entries = [ChunkEntry(start=(0,), shape=(4,), offset=0, nbytes=4)]
+        blob = pack_chunk_index((4,), entries)
+        with pytest.raises(DecompressionError):
+            unpack_chunk_index(blob[:-2], 0, ndim=1)
+
+    def test_entry_slices(self):
+        e = ChunkEntry(start=(4, 8), shape=(2, 3), offset=0, nbytes=1)
+        assert e.slices == (slice(4, 6), slice(8, 11))
+
+    def test_starts_beyond_u32_survive(self):
+        """Chunk starts range over the full (u64) array extent."""
+        e = ChunkEntry(start=(2**32 + 7,), shape=(256,), offset=0, nbytes=9)
+        _, parsed, _ = unpack_chunk_index(
+            pack_chunk_index((256,), [e]), 0, ndim=1
+        )
+        assert parsed == [e]
+
+
+class TestDescribeStream:
+    def test_plain_stream(self):
+        from repro.compressors.base import get_compressor
+
+        data = np.linspace(0, 1, 64, dtype=np.float32).reshape(8, 8)
+        blob = get_compressor("sz3").compress(data, error_bound=1e-3)
+        info = describe_stream(blob)
+        assert info["codec"] == "sz3"
+        assert info["shape"] == (8, 8)
+        assert info["format"].startswith("plain stream")
+        assert info["compressed_bytes"] == len(blob)
+
+    def test_chunked_stream(self):
+        from repro.chunked import compress_chunked
+
+        data = np.linspace(0, 1, 256, dtype=np.float32).reshape(16, 16)
+        blob = compress_chunked(data, codec="sz3", chunks=8, error_bound=1e-3)
+        info = describe_stream(blob)
+        assert info["format"].startswith("chunked container")
+        assert info["n_chunks"] == 4
+        assert info["chunk_shape"] == (8, 8)
 
 
 class TestSections:

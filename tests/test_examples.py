@@ -12,10 +12,11 @@ EXAMPLES = sorted(
 
 
 @pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
-def test_example_runs(script, tmp_path):
+def test_example_runs(script, tmp_path, subprocess_env):
     result = subprocess.run(
         [sys.executable, str(script)],
         cwd=tmp_path,  # examples write PGM files into the cwd
+        env=subprocess_env,  # the child needs src/ on PYTHONPATH too
         capture_output=True,
         text=True,
         timeout=600,
