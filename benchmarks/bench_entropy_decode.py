@@ -1,0 +1,170 @@
+"""Entropy-decode throughput benchmark + CI regression gate.
+
+Measures :func:`repro.encoding.codec.decode_symbol_stream` on stream
+profiles spanning the decoder's regimes — run-dominated quantization
+indices, mid-entropy (Zipf) token streams, near-incompressible byte
+planes, and a geometric profile that forces the long-code escape path —
+plus one end-to-end codec decompression.
+
+Because absolute throughput varies wildly across machines, every number
+is also recorded *normalized* by a fixed numpy gather workload measured
+at the same time (``calibration``).  The CI smoke job compares normalized
+values against the committed baseline (``BENCH_entropy_decode.json`` at
+the repo root) and fails on a >2x regression:
+
+    python benchmarks/bench_entropy_decode.py --check BENCH_entropy_decode.json
+
+Run without arguments to print the table; ``--write PATH`` refreshes the
+baseline.  Under pytest it records the table like the other benches.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+#: normalized throughput may drop to 1/this before the CI gate fails
+REGRESSION_FACTOR = 2.0
+#: stream length for the symbol-stream profiles
+N_SYMBOLS = 500_000
+
+
+def _profiles(rng):
+    w = 1.0 / (np.arange(1, 701) ** 1.2)
+    w /= w.sum()
+    geo = 2.0 ** np.arange(24)
+    return {
+        "rle_heavy": np.where(
+            rng.random(N_SYMBOLS) < 0.97, 0, rng.integers(1, 40, size=N_SYMBOLS)
+        ).astype(np.int64),
+        "zipf_mid": rng.choice(700, p=w, size=N_SYMBOLS).astype(np.int64),
+        "byte_planes": rng.integers(0, 256, size=N_SYMBOLS).astype(np.int64),
+        "long_codes": rng.choice(24, p=geo / geo.sum(), size=N_SYMBOLS).astype(
+            np.int64
+        ),
+    }
+
+
+def _best_of(fn, rounds=3):
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def calibration_melem_s(rng):
+    """Throughput of a plain numpy fancy gather (Melem/s) — the machine-
+    speed proxy used to normalize decode numbers across hosts."""
+    table = rng.integers(0, 1 << 31, size=1 << 16).astype(np.int64)
+    idx = rng.integers(0, 1 << 16, size=1 << 21)
+    dt = _best_of(lambda: table[idx], rounds=5)
+    return idx.size / dt / 1e6
+
+
+def run_benchmark():
+    from repro import SZ3
+    from repro.datasets import get_dataset
+    from repro.encoding.codec import decode_symbol_stream, encode_symbol_stream
+
+    rng = np.random.default_rng(2022)
+    calib = calibration_melem_s(rng)
+    results = {"calibration_melem_s": round(calib, 1), "streams": {}}
+
+    for name, syms in _profiles(rng).items():
+        blob = encode_symbol_stream(syms)
+        decode_symbol_stream(blob)  # warm decode tables
+        dt = _best_of(lambda: decode_symbol_stream(blob))
+        msym = syms.size / dt / 1e6
+        results["streams"][name] = {
+            "msym_per_s": round(msym, 2),
+            "normalized": round(msym / calib, 4),
+            "bits_per_sym": round(len(blob) * 8 / syms.size, 2),
+        }
+
+    data = get_dataset("nyx", shape=(48, 48, 48), seed=0)
+    codec = SZ3()
+    blob = codec.compress(data, rel_error_bound=1e-3)
+    codec.decompress(blob)
+    dt = _best_of(lambda: codec.decompress(blob))
+    mbs = data.nbytes / dt / 1e6
+    results["streams"]["sz3_nyx_end_to_end"] = {
+        "mb_per_s": round(mbs, 1),
+        "normalized": round(mbs / calib, 4),
+    }
+    return results
+
+
+def format_results(results):
+    lines = [
+        "entropy decode throughput "
+        f"(gather calibration {results['calibration_melem_s']} Melem/s)"
+    ]
+    for name, r in results["streams"].items():
+        rate = (
+            f"{r['msym_per_s']:8.2f} Msym/s"
+            if "msym_per_s" in r
+            else f"{r['mb_per_s']:8.1f} MB/s  "
+        )
+        lines.append(f"  {name:20s} {rate}   normalized {r['normalized']:.4f}")
+    return "\n".join(lines)
+
+
+def check_against(results, baseline_path):
+    """Return a list of regression messages (empty = pass)."""
+    baseline = json.loads(pathlib.Path(baseline_path).read_text())
+    failures = []
+    for name, base in baseline["streams"].items():
+        now = results["streams"].get(name)
+        if now is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        floor = base["normalized"] / REGRESSION_FACTOR
+        if now["normalized"] < floor:
+            failures.append(
+                f"{name}: normalized throughput {now['normalized']:.4f} "
+                f"fell below {floor:.4f} "
+                f"(baseline {base['normalized']:.4f} / {REGRESSION_FACTOR}x)"
+            )
+    return failures
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--check", metavar="BASELINE", help="fail on >2x regression")
+    ap.add_argument("--write", metavar="PATH", help="write results JSON")
+    args = ap.parse_args(argv)
+    results = run_benchmark()
+    print(format_results(results))
+    if args.write:
+        existing = {}
+        p = pathlib.Path(args.write)
+        if p.exists():
+            existing = json.loads(p.read_text())
+        existing.update(results)
+        p.write_text(json.dumps(existing, indent=2) + "\n")
+        print(f"wrote {args.write}")
+    if args.check:
+        failures = check_against(results, args.check)
+        if failures:
+            print("REGRESSION:\n  " + "\n  ".join(failures))
+            return 1
+        print(f"no >{REGRESSION_FACTOR}x regression vs {args.check}")
+    return 0
+
+
+def test_entropy_decode_throughput():
+    """Pytest entry: record the table alongside the other benchmarks."""
+    from conftest import record
+
+    results = run_benchmark()
+    record("entropy_decode", format_results(results))
+    assert results["streams"]["rle_heavy"]["msym_per_s"] > 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

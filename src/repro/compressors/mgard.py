@@ -18,6 +18,8 @@ L2-projection "update" step, keeping only the interpolation details.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.compressors.base import Compressor, register
@@ -100,14 +102,20 @@ class MGARDPlus(Compressor):
         if len(sections) != 3:
             raise DecompressionError("MGARD payload must have 3 sections")
         plan, _top, known, codes, outliers = unpack_interp_payload(
-            sections[0], header.dtype
+            sections[0], header.dtype, max_points=math.prod(header.shape)
         )
         recon = interp_decompress(header.shape, plan, codes, outliers, known)
         reader = BitReader(sections[1])
         n_bad = reader.read_uint(64)
         if n_bad:
             bad_idx = reader.read_array(n_bad, 64).astype(np.int64)
-            bad_vals = decompress_floats_lossless(sections[2]).astype(np.float64)
+            bad_vals = decompress_floats_lossless(
+                sections[2], max_values=recon.size
+            ).astype(np.float64)
+            if bad_vals.size != n_bad or int(bad_idx.min()) < 0 or int(
+                bad_idx.max()
+            ) >= recon.size:
+                raise DecompressionError("corrupt outlier index stream")
             flat = recon.ravel()
             flat[bad_idx] = bad_vals
         return recon

@@ -154,13 +154,27 @@ class SZ2(Compressor):
         radius = reader.read_uint(32)
         nd = reader.read_uint(8)
         padded_shape = tuple(reader.read_uint(64) for _ in range(nd))
+        # the padded payload shape must be what padding the declared
+        # header shape produces, or the final crop silently returns an
+        # array that contradicts the header
+        if block == 0 or nd != len(header.shape) or padded_shape != tuple(
+            n + (-n) % block for n in header.shape
+        ):
+            raise DecompressionError("SZ2 payload shape contradicts header")
         n_blocks = int(np.prod([n // block for n in padded_shape]))
         use_reg = reader.read_array(n_blocks, 1).astype(bool)
-        coeffs = np.frombuffer(
-            decompress_bytes(sections[1]), dtype=np.float32
-        ).reshape(-1, nd + 1)
-        codes = decode_symbol_stream(sections[2])
-        outliers = decompress_floats_lossless(sections[3]).astype(np.float64)
+        n_points = int(np.prod(padded_shape))
+        coeff_len = int(use_reg.sum()) * 4 * (nd + 1)
+        coeff_bytes = decompress_bytes(sections[1], max_size=coeff_len)
+        if len(coeff_bytes) != coeff_len:
+            raise DecompressionError(
+                "SZ2 regression coefficients contradict the block flags"
+            )
+        coeffs = np.frombuffer(coeff_bytes, dtype=np.float32).reshape(-1, nd + 1)
+        codes = decode_symbol_stream(sections[2], max_size=n_points)
+        outliers = decompress_floats_lossless(
+            sections[3], max_values=n_points
+        ).astype(np.float64)
         eb = header.error_bound
 
         quantizer = LinearQuantizer(radius=radius, codes=codes, outliers=outliers)

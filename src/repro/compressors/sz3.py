@@ -10,6 +10,8 @@ interpolation weakness QoZ's anchors fix (paper §V-B1).
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.compressors.base import Compressor, register
@@ -76,6 +78,6 @@ class SZ3(Compressor):
 
     def _decompress(self, payload: bytes, header) -> np.ndarray:
         plan, _top, known, codes, outliers = unpack_interp_payload(
-            payload, header.dtype
+            payload, header.dtype, max_points=math.prod(header.shape)
         )
         return interp_decompress(header.shape, plan, codes, outliers, known)

@@ -276,7 +276,9 @@ class ZFP(Compressor):
         body_len = hr.read_uint(64)
         n_bad = hr.read_uint(64)
         bad_idx = hr.read_array(n_bad, 64).astype(np.int64)
-        bad_vals = decompress_floats_lossless(sections[2]).astype(np.float64)
+        bad_vals = decompress_floats_lossless(
+            sections[2], max_values=int(np.prod(header.shape))
+        ).astype(np.float64)
 
         shape = header.shape
         nd = len(shape)
@@ -319,6 +321,10 @@ class ZFP(Compressor):
         crop = tuple(slice(0, n) for n in shape)
         out = np.ascontiguousarray(recon[crop])
         if n_bad:
+            if bad_vals.size != n_bad or int(bad_idx.min()) < 0 or int(
+                bad_idx.max()
+            ) >= out.size:
+                raise DecompressionError("corrupt outlier index stream")
             flat = out.ravel()
             flat[bad_idx] = bad_vals
         return out

@@ -10,6 +10,7 @@ how QoZ's online selection and tuning evaluate candidate plans cheaply
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
@@ -24,7 +25,7 @@ from repro.core.levels import (
     max_level_for_anchor,
     max_level_for_shape,
 )
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, DecompressionError
 from repro.quantize.linear import DEFAULT_RADIUS, LinearQuantizer
 
 
@@ -209,6 +210,16 @@ def interp_decompress(
 ) -> np.ndarray:
     """Inverse of :func:`interp_compress`."""
     full_shape = (batch_size, *shape) if batch_size else tuple(shape)
+    # every point is either a seeded known point or carries one quant
+    # code; a mismatch means the header shape or the payload is corrupt —
+    # check with exact int arithmetic before sizing any allocation off
+    # the (attacker-controlled) shape
+    total = math.prod(full_shape)
+    if known.size + codes.size != total:
+        raise DecompressionError(
+            f"payload carries {known.size} known + {codes.size} coded "
+            f"points for a shape of {total}"
+        )
     work = np.zeros(full_shape, dtype=np.float64)
     plant_known_points(work, plan, known, batch=bool(batch_size))
     quantizer = LinearQuantizer(

@@ -20,6 +20,7 @@ QoZ (full)            defaults
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
@@ -215,6 +216,6 @@ class QoZ(Compressor):
     # --------------------------------------------------------- decompress
     def _decompress(self, payload: bytes, header) -> np.ndarray:
         plan, _top, known, codes, outliers = unpack_interp_payload(
-            payload, header.dtype
+            payload, header.dtype, max_points=math.prod(header.shape)
         )
         return interp_decompress(header.shape, plan, codes, outliers, known)

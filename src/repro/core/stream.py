@@ -110,11 +110,15 @@ def pack_interp_payload(
 
 
 def unpack_interp_payload(
-    payload: bytes, dtype: np.dtype
+    payload: bytes, dtype: np.dtype, max_points: int | None = None
 ) -> Tuple[InterpPlan, int, np.ndarray, np.ndarray, np.ndarray]:
     """Inverse of :func:`pack_interp_payload`.
 
-    Returns ``(plan, max_level, known, codes, outliers)``.
+    Returns ``(plan, max_level, known, codes, outliers)``.  Callers that
+    know the reconstructed field's element count should pass it as
+    ``max_points``: every data section (known points, quant indices,
+    outliers) holds at most that many values, and the bound stops a
+    forged section from sizing an allocation beyond the field itself.
     """
     sections = unpack_sections(payload)
     if len(sections) != 4:
@@ -132,7 +136,11 @@ def unpack_interp_payload(
     plan = InterpPlan(
         levels=levels, anchor_stride=anchor_stride, radius=radius, cast_dtype=dtype
     )
-    known = decompress_floats_lossless(sections[1]).astype(np.float64)
-    codes = decode_symbol_stream(sections[2])
-    outliers = decompress_floats_lossless(sections[3]).astype(np.float64)
+    known = decompress_floats_lossless(
+        sections[1], max_values=max_points
+    ).astype(np.float64)
+    codes = decode_symbol_stream(sections[2], max_size=max_points)
+    outliers = decompress_floats_lossless(
+        sections[3], max_values=max_points
+    ).astype(np.float64)
     return plan, max_level, known, codes, outliers

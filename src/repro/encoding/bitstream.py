@@ -1,21 +1,29 @@
 """Vectorized bit-level I/O.
 
 The writer accumulates (value, nbits) chunks and expands them into a packed
-byte buffer in one numpy pass at flush time; the reader unpacks the whole
-buffer to a bit array once and serves scalar and vectorized reads from it.
-Bits are MSB-first within each value and within each byte, so streams are
-byte-order independent and diffable.
+byte buffer in one numpy pass at flush time.  The reader is *byte-windowed*:
+every read gathers 40-bit windows (5 bytes) around the requested bit
+positions straight from the packed buffer — there is no whole-stream
+``unpackbits`` expansion, so peak reader memory is a small constant multiple
+of the compressed buffer regardless of how it is sliced.  Bits are MSB-first
+within each value and within each byte, so streams are byte-order
+independent and diffable.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List
 
 import numpy as np
 
 from repro.errors import DecompressionError
 
 _MAX_BITS = 64
+#: widest field a single 5-byte window can serve at any bit offset (7 + 33 <= 40)
+_NARROW = 33
+#: window-cache granularity: bytes of the packed stream whose 40-bit windows
+#: are materialized at once (bounds reader scratch memory at 8x this)
+_WINDOW_CACHE_BYTES = 1 << 16
 
 
 class BitWriter:
@@ -85,15 +93,26 @@ class BitWriter:
 
 
 class BitReader:
-    """Serve scalar/vector reads from a packed MSB-first bit buffer."""
+    """Serve scalar/vector reads straight from a packed MSB-first buffer.
+
+    All vector reads go through one primitive: gather the 5-byte (40-bit)
+    big-endian window that starts at the byte containing each field's first
+    bit, then shift/mask the field out.  Fields wider than 33 bits are
+    split into two window reads.  The only allocation proportional to the
+    stream is a single zero-padded copy of the packed bytes, built lazily
+    on the first vector read.
+    """
 
     def __init__(self, data: bytes, bit_length: int | None = None) -> None:
-        buf = np.frombuffer(data, dtype=np.uint8)
-        self._bits = np.unpackbits(buf)
+        self._buf = np.frombuffer(data, dtype=np.uint8)
+        self._nbits = self._buf.size * 8
         if bit_length is not None:
-            if bit_length > self._bits.size:
+            if bit_length > self._nbits:
                 raise DecompressionError("bit stream shorter than declared length")
-            self._bits = self._bits[:bit_length]
+            self._nbits = int(bit_length)
+        self._padded: np.ndarray | None = None
+        self._wstart = 0  # first byte covered by the cached windows
+        self._wins: np.ndarray | None = None
         self._pos = 0
 
     @property
@@ -104,20 +123,118 @@ class BitReader:
     @property
     def remaining(self) -> int:
         """Bits left to read."""
-        return self._bits.size - self._pos
+        return self._nbits - self._pos
 
+    @property
+    def bit_length(self) -> int:
+        """Total readable bits in the stream."""
+        return self._nbits
+
+    # ------------------------------------------------------------ primitives
+    def _pad(self) -> np.ndarray:
+        """The packed bytes followed by 8 zero bytes (window overrun room)."""
+        if self._padded is None:
+            self._padded = np.concatenate(
+                [self._buf, np.zeros(8, dtype=np.uint8)]
+            )
+        return self._padded
+
+    def _windows40(self, first_byte: int, last_byte: int) -> np.ndarray:
+        """Cached 40-bit big-endian windows ``W[i] = bytes[wstart+i .. +5)``.
+
+        Covers at least ``[first_byte, last_byte]``; rebuilt (in chunks of
+        ``_WINDOW_CACHE_BYTES``) whenever a read leaves the cached range,
+        so sequential readers build each window exactly once and scratch
+        memory stays bounded no matter how large the stream is.
+        """
+        W = self._wins
+        if W is None or first_byte < self._wstart or last_byte >= self._wstart + W.size:
+            p = self._pad()
+            n = max(last_byte - first_byte + 1, _WINDOW_CACHE_BYTES)
+            n = min(n, p.size - 4 - first_byte)
+            W = p[first_byte : first_byte + n].astype(np.uint64)
+            for k in range(1, 5):
+                W <<= np.uint64(8)
+                W |= p[first_byte + k : first_byte + k + n]
+            self._wstart = first_byte
+            self._wins = W
+        return W
+
+    def _extract(self, starts: np.ndarray, widths) -> np.ndarray:
+        """Fields of ``widths`` (<= 33) bits at sorted bit positions
+        ``starts``.
+
+        ``starts`` must lie inside the padded buffer; fields past the
+        logical end read as zero bits (callers bound-check).
+        """
+        W = self._windows40(int(starts[0]) >> 3, int(starts[-1]) >> 3)
+        idx = (starts >> 3) - self._wstart
+        off = starts & 7
+        if np.isscalar(widths):
+            shift = (40 - int(widths) - off).astype(np.uint64)
+            mask = np.uint64((1 << int(widths)) - 1)
+        else:
+            shift = (40 - widths - off).astype(np.uint64)
+            mask = (np.uint64(1) << widths.astype(np.uint64)) - np.uint64(1)
+        return (W[idx] >> shift) & mask
+
+    def peek_windows(self, start: int, count: int, width: int) -> np.ndarray:
+        """``width``-bit (<= 33) windows at ``count`` consecutive bit
+        positions ``start, start+1, ...`` without consuming anything.
+
+        Windows may run past the logical stream end (they then read the
+        buffer's zero tail padding); callers must validate the final bit
+        position of whatever they decode from them.  This is the primitive
+        behind the vectorized Huffman decoder.
+        """
+        if count == 0:
+            return np.zeros(0, dtype=np.uint64)
+        if not 0 < width <= _NARROW:
+            raise ValueError(f"window width must be in 1..{_NARROW}")
+        if start < 0 or start >= self._nbits:
+            raise DecompressionError("window start outside bit stream")
+        # consecutive positions visit every bit phase of every byte, so the
+        # gather degenerates: shift the byte windows once per phase and
+        # interleave, which is ~2 passes instead of a full-size gather
+        first_byte = start >> 3
+        last_byte = (start + count - 1) >> 3
+        W = self._windows40(first_byte, last_byte)
+        Wv = W[first_byte - self._wstart : last_byte - self._wstart + 1]
+        phased = np.empty((Wv.size, 8), dtype=np.uint64)
+        mask = np.uint64((1 << width) - 1)
+        for phase in range(8):
+            np.bitwise_and(
+                Wv >> np.uint64(40 - width - phase), mask, out=phased[:, phase]
+            )
+        lo = start - 8 * first_byte
+        return phased.reshape(-1)[lo : lo + count]
+
+    def peek_windows_at(self, positions: np.ndarray, width: int) -> np.ndarray:
+        """``width``-bit (<= 33) windows at sorted in-stream bit
+        ``positions`` (ascending), without consuming anything.  Same
+        end-of-stream caveat as :meth:`peek_windows`."""
+        if positions.size == 0:
+            return np.zeros(0, dtype=np.uint64)
+        if not 0 < width <= _NARROW:
+            raise ValueError(f"window width must be in 1..{_NARROW}")
+        if int(positions[0]) < 0 or int(positions[-1]) >= self._nbits:
+            raise DecompressionError("window position outside bit stream")
+        return self._extract(positions, width)
+
+    # ----------------------------------------------------------------- reads
     def read_uint(self, nbits: int) -> int:
         """Read one unsigned integer of ``nbits`` bits."""
         if nbits == 0:
             return 0
         if nbits > self.remaining:
             raise DecompressionError("bit stream exhausted")
-        chunk = self._bits[self._pos : self._pos + nbits]
-        self._pos += nbits
-        out = 0
-        for b in chunk:
-            out = (out << 1) | int(b)
-        return out
+        pos = self._pos
+        first = pos >> 3
+        last = (pos + nbits + 7) >> 3
+        word = int.from_bytes(self._buf[first:last].tobytes(), "big")
+        self._pos = pos + nbits
+        drop = 8 * (last - first) - (pos - 8 * first) - nbits
+        return (word >> drop) & ((1 << nbits) - 1)
 
     def read_array(self, count: int, nbits: int) -> np.ndarray:
         """Read ``count`` fixed-width unsigned integers (vectorized)."""
@@ -128,11 +245,16 @@ class BitReader:
         need = count * nbits
         if need > self.remaining:
             raise DecompressionError("bit stream exhausted")
-        chunk = self._bits[self._pos : self._pos + need]
+        starts = self._pos + np.arange(count, dtype=np.int64) * nbits
+        if nbits <= _NARROW:
+            out = self._extract(starts, nbits)
+        else:
+            hi_w = nbits - 32
+            hi = self._extract(starts, hi_w)
+            lo = self._extract(starts + hi_w, 32)
+            out = (hi << np.uint64(32)) | lo
         self._pos += need
-        mat = chunk.reshape(count, nbits).astype(np.uint64)
-        weights = (np.uint64(1) << np.arange(nbits - 1, -1, -1, dtype=np.uint64))
-        return mat @ weights
+        return out
 
     def read_varwidth_array(self, widths: np.ndarray) -> np.ndarray:
         """Read integers with per-element widths (uint8 array, 0 allowed)."""
@@ -142,25 +264,24 @@ class BitReader:
             raise DecompressionError("bit stream exhausted")
         if widths.size == 0:
             return np.zeros(0, dtype=np.uint64)
-        chunk = self._bits[self._pos : self._pos + total].astype(np.uint64)
-        self._pos += total
-        out = np.zeros(widths.size, dtype=np.uint64)
-        if total == 0:
-            return out
         ends = np.cumsum(widths)
-        starts = ends - widths
-        src = np.repeat(np.arange(widths.size, dtype=np.int64), widths)
-        offs = np.arange(total, dtype=np.int64) - np.repeat(starts, widths)
-        shift = (np.repeat(widths, widths) - 1 - offs).astype(np.uint64)
-        np.add.at(out, src, chunk << shift)
+        starts = self._pos + ends - widths
+        self._pos += total
+        narrow = widths <= _NARROW
+        if narrow.all():
+            return self._extract(starts, widths)
+        out = np.zeros(widths.size, dtype=np.uint64)
+        if narrow.any():
+            out[narrow] = self._extract(starts[narrow], widths[narrow])
+        wide = ~narrow
+        hi_w = widths[wide] - 32
+        hi = self._extract(starts[wide], hi_w)
+        lo = self._extract(starts[wide] + hi_w, 32)
+        out[wide] = (hi << np.uint64(32)) | lo
         return out
 
-    def bits_view(self) -> Tuple[np.ndarray, int]:
-        """Expose the raw bit array and current position (Huffman decoder)."""
-        return self._bits, self._pos
-
     def advance(self, nbits: int) -> None:
-        """Skip ``nbits`` bits (used together with :meth:`bits_view`)."""
+        """Skip ``nbits`` bits (used by the Huffman decoder)."""
         if nbits > self.remaining:
             raise DecompressionError("bit stream exhausted")
         self._pos += nbits

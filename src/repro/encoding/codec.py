@@ -64,23 +64,46 @@ def encode_symbol_stream(codes: np.ndarray, use_rle: bool = True) -> bytes:
     return writer.getvalue()
 
 
-def decode_symbol_stream(blob: bytes) -> np.ndarray:
-    """Inverse of :func:`encode_symbol_stream`."""
+def decode_symbol_stream(blob: bytes, max_size: int | None = None) -> np.ndarray:
+    """Inverse of :func:`encode_symbol_stream`.
+
+    ``max_size`` is the caller's upper bound on how many symbols the
+    stream may legitimately hold (e.g. the element count of the field
+    being reconstructed).  Run-length tokens let a tiny forged stream
+    declare an arbitrarily large count, so callers that know a bound
+    should always pass it — the declared count is then rejected *before*
+    it sizes any allocation.
+    """
     reader = BitReader(blob)
     n = reader.read_uint(64)
     if n == 0:
         return np.zeros(0, dtype=np.int64)
+    if max_size is not None and n > max_size:
+        raise DecompressionError(
+            f"stream declares {n} symbols, caller expects at most {max_size}"
+        )
     lo = reader.read_uint(32)
     alphabet = reader.read_uint(32)
     rle = reader.read_uint(1)
+    # every non-run symbol costs >= 1 payload bit, so without run tokens
+    # a declared count beyond the stream length is corrupt — reject it
+    # before sizing any output allocation off it
+    if not rle and n > reader.remaining:
+        raise DecompressionError("symbol count exceeds stream length")
     if rle:
         dom = reader.read_uint(32)
         n_tokens = reader.read_uint(64)
+        if n_tokens > n:
+            raise DecompressionError(
+                "token count exceeds declared symbol count"
+            )
         code = HuffmanCode.deserialize(reader)
         tokens = code.decode(reader, n_tokens)
         widths = run_token_widths(tokens, alphabet)
         extra_vals = reader.read_varwidth_array(widths)
-        syms = detokenize_runs(tokens, extra_vals, dom, alphabet)
+        syms = detokenize_runs(
+            tokens, extra_vals, dom, alphabet, expected_size=n
+        )
     else:
         code = HuffmanCode.deserialize(reader)
         syms = code.decode(reader, n)
@@ -88,7 +111,8 @@ def decode_symbol_stream(blob: bytes) -> np.ndarray:
         raise DecompressionError(
             f"symbol stream decoded to {syms.size} symbols, expected {n}"
         )
-    return syms + lo
+    syms += lo  # in-place: syms is freshly allocated by the decoder
+    return syms
 
 
 def shannon_bits(freqs: np.ndarray) -> float:

@@ -1,10 +1,13 @@
 """Canonical, length-limited Huffman coding over a dense integer alphabet.
 
-Encoding is fully vectorized (table lookup + :class:`BitWriter`).  Decoding
-uses a first-level lookup table over 16-bit windows built from the packed
-stream, with a canonical bit-by-bit fallback for longer codes; this keeps the
-per-symbol Python loop tiny (the only non-vectorized hot loop in the
-package, as noted in DESIGN.md §6).
+Both directions are fully vectorized.  Encoding is a table lookup +
+:class:`BitWriter`.  Decoding works in bounded bit-blocks: gather a 32-bit
+window at *every* bit offset of the block straight from the packed bytes,
+resolve each offset's (symbol, code length) through a 16-bit first-level
+table (with a vectorized canonical pass for longer codes), then extract the
+actual codeword chain by pointer doubling over the per-offset "next
+position" array.  No per-symbol Python loop, and peak memory is bounded by
+the block size, not the stream (DESIGN.md §6).
 """
 
 from __future__ import annotations
@@ -22,6 +25,11 @@ MAX_CODE_LENGTH = 32
 #: first-level decode table width
 _TABLE_BITS = 16
 _ESCAPE = 255
+#: escape marker in the fused table's 6-bit length field
+_ESCAPE_LEN = 63
+#: bits examined per decode round; bounds peak decode memory (a handful of
+#: int64 arrays of this many elements) independently of stream size
+_BLOCK_BITS = 1 << 17
 
 
 def _tree_lengths(freqs: np.ndarray) -> np.ndarray:
@@ -105,11 +113,25 @@ class HuffmanCode:
         return int(self.lengths.size)
 
     def encoded_bit_count(self, freqs: np.ndarray) -> int:
-        """Exact payload size in bits for symbols with the given histogram."""
+        """Exact payload size in bits for symbols with the given histogram.
+
+        Raises ``ValueError`` if the histogram puts mass on symbols the
+        code cannot encode — outside the alphabet or with no code —
+        instead of silently undercounting them as 0 bits (which would
+        corrupt codec/stage size comparisons built on this estimate).
+        """
+        freqs = np.asarray(freqs, dtype=np.int64)
         n = min(freqs.size, self.lengths.size)
-        return int(
-            (freqs[:n].astype(np.int64) * self.lengths[:n].astype(np.int64)).sum()
-        )
+        if freqs[n:].any():
+            raise ValueError(
+                "histogram has mass outside the code's alphabet "
+                f"(size {self.lengths.size})"
+            )
+        head = freqs[:n]
+        lens = self.lengths[:n].astype(np.int64)
+        if (head[lens == 0] > 0).any():
+            raise ValueError("histogram has mass on symbols with no code")
+        return int((head * lens).sum())
 
     # ----------------------------------------------------------------- encode
     def encode(self, symbols: np.ndarray, writer: BitWriter) -> None:
@@ -162,63 +184,169 @@ class HuffmanCode:
             code += count[ln]
             total += count[ln]
         sorted_syms = syms[np.lexsort((syms, lengths[syms]))]
+        # fused (symbol, length) entry: one gather resolves both.  The
+        # length field is 6 bits (max length 32 < 63); 63 marks escapes.
+        combo = (table_sym.astype(np.int64) << np.int64(6)) | np.where(
+            table_len == _ESCAPE, np.int64(_ESCAPE_LEN), table_len.astype(np.int64)
+        )
         self._decode_table = (
             t,
-            table_sym.tolist(),
-            table_len.tolist(),
+            combo,
             maxlen,
-            first_code.tolist(),
-            count.tolist(),
-            index.tolist(),
-            sorted_syms.tolist(),
+            first_code,
+            count,
+            index,
+            sorted_syms.astype(np.int64),
+            bool((table_len == _ESCAPE).any()),
         )
         return self._decode_table
 
+    def _resolve_escapes(self, reader, pos, entry, step, esc, tables):
+        """Vectorized canonical decode for windows the first-level table
+        cannot resolve (codes longer than the table width, or gaps left by
+        a non-Kraft-complete table).  Unresolvable windows are marked with
+        symbol -1 / step 1; they only matter if the codeword chain actually
+        visits them, in which case :meth:`decode` raises."""
+        t, _, maxlen, first_code, length_count, index, sorted_syms = tables[:7]
+        w = reader.peek_windows_at(pos + esc, 32)
+        sym_e = np.full(esc.size, -1, dtype=np.int64)
+        step_e = np.ones(esc.size, dtype=np.int64)
+        open_mask = np.ones(esc.size, dtype=bool)
+        for ln in range(t + 1, maxlen + 1):
+            if length_count[ln] == 0:
+                continue
+            off = (w >> np.uint64(32 - ln)).astype(np.int64) - first_code[ln]
+            hit = open_mask & (off >= 0) & (off < length_count[ln])
+            if hit.any():
+                sym_e[hit] = sorted_syms[index[ln] + off[hit]]
+                step_e[hit] = ln
+                open_mask &= ~hit
+        entry[esc] = (sym_e << np.int64(6)) | step_e
+        step[esc] = step_e
+
+    @staticmethod
+    def _extract_chain(nxt, span, m):
+        """Positions after 0..m codewords, following ``nxt`` from offset 0.
+
+        ``nxt`` maps every offset in ``[0, span)`` to the offset after one
+        codeword and self-loops past ``span``, so the chain saturates at
+        the first position outside the block.  Small chains use pointer
+        doubling (log2(m) full passes over ``nxt``); larger ones compose
+        ``nxt`` only a few times, walk stride-sized anchor hops, then
+        advance all anchor lanes in lockstep — O(m) gathers total instead
+        of a full composition pass per doubling round.
+        """
+        if m < 512:
+            chain = np.empty(m + 1, dtype=np.intp)
+            chain[0] = 0
+            filled = 1
+            while filled < m + 1:
+                if chain[filled - 1] >= span:  # saturated: tail is constant
+                    chain[filled:] = chain[filled - 1]
+                    break
+                take = min(filled, m + 1 - filled)
+                chain[filled : filled + take] = nxt[chain[:take]]
+                filled += take
+                if filled < m + 1:
+                    nxt = nxt[nxt]  # now jumps `filled` codewords
+            return chain
+        # each composition pass costs O(span); each halving of the anchor
+        # walk saves m/stride scalar steps — balance the two
+        c = max(2, min(7, (m // 600).bit_length() - 1))
+        stride = 1 << c
+        stride_jump = nxt
+        for _ in range(c):
+            stride_jump = stride_jump[stride_jump]
+        n_anchor = m // stride + 1
+        anchors = np.empty(n_anchor, dtype=np.intp)
+        a = 0
+        for i in range(n_anchor):
+            anchors[i] = a
+            if a >= span:
+                anchors[i:] = a  # saturated: every later anchor is the same
+                break
+            a = int(stride_jump[a])
+        lanes = np.empty((stride, n_anchor), dtype=np.intp)
+        lanes[0] = anchors
+        cur = anchors
+        for r in range(1, stride):
+            cur = nxt[cur]
+            lanes[r] = cur
+        return lanes.T.reshape(-1)[: m + 1]
+
     def decode(self, reader: BitReader, count: int) -> np.ndarray:
-        """Decode ``count`` symbols from ``reader``."""
+        """Decode ``count`` symbols from ``reader`` (vectorized).
+
+        Works in blocks of at most ``_BLOCK_BITS`` bits.  Per block, every
+        bit offset is resolved to a speculative (symbol, next offset) pair
+        in one numpy pass — a single gather through the fused
+        symbol/length table, plus a canonical pass for the rare windows
+        the table cannot resolve; the true codeword chain — starting at
+        the current position and following next-offset links — is then
+        materialized by :meth:`_extract_chain`, and exactly the symbols
+        on the chain are emitted.  Offsets that are never on the chain
+        may hold garbage; that is fine, they are never read.
+        """
         if count == 0:
             return np.zeros(0, dtype=np.int64)
-        (t, table_sym, table_len, maxlen, first_code, length_count, index,
-         sorted_syms) = self._ensure_decode_table()
-        bits, pos = reader.bits_view()
-        # 32-bit big-endian windows at every byte offset (padded tail)
-        packed = np.packbits(bits)
-        pad = np.zeros(8, dtype=np.uint8)
-        b = np.concatenate([packed, pad]).astype(np.uint32)
-        w32 = ((b[:-3] << 24) | (b[1:-2] << 16) | (b[2:-1] << 8) | b[3:]).tolist()
-        mask = (1 << t) - 1
-        shift_base = 32 - t
-        out = [0] * count
-        bl = bits.tolist() if maxlen > t else None
-        nbits_total = bits.size
-        for i in range(count):
-            key = (w32[pos >> 3] >> (shift_base - (pos & 7))) & mask
-            ln = table_len[key]
-            if ln != _ESCAPE:
-                out[i] = table_sym[key]
-                pos += ln
-            else:
-                # canonical walk for long codes
-                code = 0
-                ln = 0
-                p = pos
-                while True:
-                    if p >= nbits_total:
-                        raise DecompressionError("huffman stream exhausted")
-                    code = (code << 1) | bl[p]
-                    p += 1
-                    ln += 1
-                    if ln > maxlen:
-                        raise DecompressionError("invalid huffman code")
-                    off = code - first_code[ln]
-                    if 0 <= off < length_count[ln]:
-                        out[i] = sorted_syms[index[ln] + off]
-                        pos = p
-                        break
+        if count > reader.remaining:  # every codeword costs >= 1 bit
+            raise DecompressionError("huffman stream exhausted")
+        tables = self._ensure_decode_table()
+        t, combo, maxlen, has_escapes = (
+            tables[0],
+            tables[1],
+            tables[2],
+            tables[7],
+        )
+        pos = reader.position
+        start_pos = pos
+        nbits_total = reader.bit_length
+        out = np.empty(count, dtype=np.int64)
+        produced = 0
+        while produced < count:
+            if pos >= nbits_total:
+                raise DecompressionError("huffman stream exhausted")
+            # never examine more bits than the remaining symbols could use
+            span = min(
+                _BLOCK_BITS,
+                nbits_total - pos,
+                (count - produced) * max(maxlen, 1),
+            )
+            # chain-length budget: the worst case is one codeword per bit,
+            # but after the first block the observed bits-per-codeword
+            # bounds it far tighter (undershoot only costs an extra lap)
+            m = min(count - produced, span)
+            if produced:
+                avg_bits = (pos - start_pos) / produced
+                m = min(m, int(span / avg_bits * 1.3) + 64)
+            entry = combo[reader.peek_windows(pos, span, t)]
+            step = entry & np.int64(_ESCAPE_LEN)
+            n_esc = 0
+            if has_escapes:
+                esc = np.flatnonzero(step == _ESCAPE_LEN)
+                n_esc = esc.size
+                if n_esc:
+                    self._resolve_escapes(reader, pos, entry, step, esc, tables)
+            # next-offset links, saturating at the first offset past the
+            # block (chain entries there keep their value so the block
+            # boundary position survives the jump composition)
+            ext = span + MAX_CODE_LENGTH + 1
+            nxt = np.arange(ext, dtype=np.intp)
+            nxt[:span] += step
+            chain = self._extract_chain(nxt, span, m)
+            # symbols whose codeword starts inside this block; the >> 6
+            # runs on just the chain entries, not every bit offset
+            k = min(int(np.searchsorted(chain, span, side="left")), m)
+            emitted = entry[chain[:k]] >> np.int64(6)
+            if n_esc and emitted.min(initial=0) < 0:
+                raise DecompressionError("invalid huffman code")
+            out[produced : produced + k] = emitted
+            produced += k
+            pos += int(chain[k])
         if pos > nbits_total:
             raise DecompressionError("huffman stream exhausted")
         reader.advance(pos - reader.position)
-        return np.asarray(out, dtype=np.int64)
+        return out
 
     # -------------------------------------------------------------- serialize
     def serialize(self, writer: BitWriter) -> None:
@@ -241,6 +369,14 @@ class HuffmanCode:
         size = reader.read_uint(32)
         nnz = reader.read_uint(32)
         dense = reader.read_uint(1)
+        # reject count fields that promise more table entries than the
+        # stream has bits for, before they size any allocation; the
+        # alphabet cap matches from_frequencies' practical limit and stops
+        # a flipped sparse-table size field from allocating gigabytes
+        if size > (1 << 28):
+            raise DecompressionError("corrupt huffman table (alphabet size)")
+        if nnz > size or (6 * size if dense else 38 * nnz) > reader.remaining:
+            raise DecompressionError("corrupt huffman table (truncated)")
         lengths = np.zeros(size, dtype=np.uint8)
         if dense:
             lengths[:] = reader.read_array(size, 6).astype(np.uint8)
@@ -252,6 +388,14 @@ class HuffmanCode:
             lengths[syms] = lens
         if (lengths > MAX_CODE_LENGTH).any():
             raise DecompressionError("corrupt huffman table (length overflow)")
+        # canonical code assignment only stays within each length's code
+        # space if the lengths satisfy Kraft's inequality; a corrupt table
+        # that violates it would otherwise corrupt the decode-table build
+        nz = lengths[lengths > 0].astype(np.int64)
+        if nz.size:
+            kraft = (np.int64(1) << (MAX_CODE_LENGTH - nz)).sum(dtype=np.int64)
+            if kraft > np.int64(1) << MAX_CODE_LENGTH:
+                raise DecompressionError("corrupt huffman table (kraft)")
         return cls(lengths)
 
 

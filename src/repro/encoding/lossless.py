@@ -30,8 +30,12 @@ def compress_bytes(data: bytes) -> bytes:
     return bytes([1, _RAW]) + data
 
 
-def decompress_bytes(blob: bytes) -> bytes:
-    """Inverse of :func:`compress_bytes`."""
+def decompress_bytes(blob: bytes, max_size: int | None = None) -> bytes:
+    """Inverse of :func:`compress_bytes`.
+
+    ``max_size`` bounds the decoded byte count when the caller knows it
+    (forwarded to :func:`decode_symbol_stream`'s bomb guard).
+    """
     if len(blob) < 2:
         raise DecompressionError("truncated lossless byte stream")
     nonempty, mode = blob[0], blob[1]
@@ -40,7 +44,8 @@ def decompress_bytes(blob: bytes) -> bytes:
     if mode == _RAW:
         return blob[2:]
     if mode == _CODED:
-        return decode_symbol_stream(blob[2:]).astype(np.uint8).tobytes()
+        decoded = decode_symbol_stream(blob[2:], max_size=max_size)
+        return decoded.astype(np.uint8).tobytes()
     raise DecompressionError(f"unknown lossless mode {mode}")
 
 
@@ -63,14 +68,35 @@ def compress_floats_lossless(values: np.ndarray) -> bytes:
     return header + payload
 
 
-def decompress_floats_lossless(blob: bytes) -> np.ndarray:
-    """Inverse of :func:`compress_floats_lossless`."""
+def decompress_floats_lossless(
+    blob: bytes, max_values: int | None = None
+) -> np.ndarray:
+    """Inverse of :func:`compress_floats_lossless`.
+
+    ``max_values`` is the caller's bound on the element count (e.g. the
+    size of the field the values belong to); the declared count is
+    checked against it before any decode allocation.
+    """
     reader = BitReader(blob[:17])
     n = reader.read_uint(64)
     dtype = dtype_from_code(reader.read_uint(8))
+    if max_values is not None and n > max_values:
+        raise DecompressionError(
+            f"lossless float stream declares {n} values, "
+            f"caller expects at most {max_values}"
+        )
     payload_len = reader.read_uint(64)
-    raw = decompress_bytes(blob[17 : 17 + payload_len])
+    if payload_len > len(blob) - 17:
+        raise DecompressionError("truncated lossless float stream")
+    raw = decompress_bytes(
+        blob[17 : 17 + payload_len], max_size=n * dtype.itemsize
+    )
     itemsize = dtype.itemsize
+    if len(raw) != n * itemsize:
+        raise DecompressionError(
+            f"lossless float payload holds {len(raw)} bytes, "
+            f"expected {n * itemsize}"
+        )
     planes = np.frombuffer(raw, dtype=np.uint8).reshape(itemsize, n)
     delta = np.ascontiguousarray(planes.T).reshape(n * itemsize)
     uint_t = np.uint32 if dtype == np.float32 else np.uint64

@@ -71,10 +71,22 @@ def detokenize_runs(
     extra_values: np.ndarray,
     dominant: int,
     alphabet_size: int,
+    expected_size: int | None = None,
 ) -> np.ndarray:
-    """Inverse of :func:`tokenize_runs`."""
+    """Inverse of :func:`tokenize_runs`.
+
+    Every run length is validated *before* any expansion is allocated: a
+    run token of class ``k`` must carry an extra value below ``2**k``
+    (the tokenizer never emits more), and with ``expected_size`` given
+    the run lengths must sum to exactly that many symbols.  A corrupt or
+    malicious stream therefore raises :class:`DecompressionError` instead
+    of silently mis-decoding or ballooning ``np.repeat`` into an
+    attacker-controlled allocation.
+    """
     tokens = np.ascontiguousarray(tokens, dtype=np.int64)
     if tokens.size == 0:
+        if expected_size not in (None, 0):
+            raise DecompressionError("run token stream decoded to 0 symbols")
         return np.zeros(0, dtype=np.int64)
     is_run = tokens >= alphabet_size
     k = tokens[is_run] - alphabet_size
@@ -82,8 +94,24 @@ def detokenize_runs(
         raise DecompressionError("corrupt run token stream")
     if int(is_run.sum()) != extra_values.size:
         raise DecompressionError("run-token/extras count mismatch")
+    extras = extra_values.astype(np.int64, copy=False)
+    if extras.size and (
+        (extras < 0).any() or (extras >> np.minimum(k, 62)).any()
+    ):
+        raise DecompressionError("run length remainder out of range")
     lens = np.ones(tokens.size, dtype=np.int64)
-    lens[is_run] = (np.int64(1) << k) + extra_values.astype(np.int64)
+    lens[is_run] = (np.int64(1) << k) + extras
+    if (lens <= 0).any():  # int64 overflow from a hostile k=63 run
+        raise DecompressionError("run length out of range")
+    # int64 lens.sum() wraps silently (e.g. four class-62 runs sum to 8),
+    # which would defeat the size check below — bound the total with
+    # monotone float arithmetic before trusting integer summation
+    if float(lens.sum(dtype=np.float64)) > 2.0**62:
+        raise DecompressionError("run lengths overflow")
+    if expected_size is not None and int(lens.sum()) != expected_size:
+        raise DecompressionError(
+            "run token stream does not decode to the declared symbol count"
+        )
     out_vals = np.where(is_run, dominant, tokens)
     return np.repeat(out_vals, lens)
 

@@ -1,0 +1,196 @@
+"""Fuzzed corrupt-stream robustness across every codec layer.
+
+Corruption of a compressed stream must surface as
+:class:`~repro.errors.ReproError` (usually ``DecompressionError``) or — for
+payload damage the format cannot detect (there is no checksum) — as a
+decoded array of the *declared* shape and dtype.  What must never happen:
+``MemoryError`` / unbounded allocation, raw numpy/struct exceptions,
+hangs, or a quietly mis-shaped result.  The seeds are fixed so failures
+reproduce; each case fuzzes a spread of truncation points and bit flips
+in the header, the Huffman tables, and the payload body.
+"""
+
+import numpy as np
+import pytest
+
+from repro import QoZ, SZ2, SZ3, ZFP, MGARDPlus
+from repro.encoding.codec import decode_symbol_stream, encode_symbol_stream
+from repro.encoding.lossless import (
+    compress_floats_lossless,
+    decompress_floats_lossless,
+)
+from repro.errors import ReproError
+
+N_FLIPS = 120
+
+
+def field(n=24, seed=0):
+    rng = np.random.default_rng(seed)
+    x = np.cumsum(rng.standard_normal((n, n, n)), axis=0)
+    return (x / np.abs(x).max()).astype(np.float32)
+
+
+def flip_bit(blob: bytes, bit: int) -> bytes:
+    out = bytearray(blob)
+    out[bit >> 3] ^= 1 << (bit & 7)
+    return bytes(out)
+
+
+def spread(limit: int, count: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, limit, size=min(count, limit))
+
+
+class TestSymbolStreamFuzz:
+    def make(self, seed):
+        rng = np.random.default_rng(seed)
+        syms = np.where(
+            rng.random(4000) < 0.6, 0, rng.integers(0, 300, size=4000)
+        ).astype(np.int64)
+        return syms, encode_symbol_stream(syms)
+
+    def test_truncations_raise(self):
+        _, blob = self.make(1)
+        for cut in sorted({0, 1, 5, *spread(len(blob), 40, 11).tolist()}):
+            with pytest.raises(ReproError):
+                decode_symbol_stream(blob[:cut])
+
+    def test_bit_flips_never_escape_the_error_type(self):
+        syms, blob = self.make(2)
+        for bit in spread(len(blob) * 8, N_FLIPS, 12):
+            try:
+                out = decode_symbol_stream(flip_bit(blob, int(bit)))
+            except ReproError:
+                continue
+            # undetectable payload damage: size contract must still hold
+            assert out.shape == syms.shape
+            assert out.dtype == syms.dtype
+
+    def test_extras_bomb_is_rejected_not_allocated(self):
+        """A forged run-class remainder must not drive np.repeat."""
+        from repro.encoding.rle import detokenize_runs
+        from repro.errors import DecompressionError
+
+        tokens = np.array([300, 0, 300], dtype=np.int64)  # two runs of class 0
+        extras = np.array([2**40, 0], dtype=np.uint64)  # claims 2**40 symbols
+        with pytest.raises(DecompressionError):
+            detokenize_runs(tokens, extras, dominant=0, alphabet_size=300)
+
+    def test_run_length_int64_wraparound_is_rejected(self):
+        """Four class-62 runs sum to 2**64 + 8, which wraps int64 to
+        exactly 8 — a forged stream matching its declared count this way
+        must raise, not hand np.repeat a wrapped total (heap corruption)."""
+        from repro.encoding.bitstream import BitWriter
+        from repro.encoding.huffman import HuffmanCode
+
+        alphabet = 4
+        tokens = np.full(4, alphabet + 62, dtype=np.int64)
+        w = BitWriter()
+        w.write_uint(8, 64)  # declared n == the wrapped sum
+        w.write_uint(0, 32)  # lo
+        w.write_uint(alphabet, 32)
+        w.write_uint(1, 1)  # rle
+        w.write_uint(0, 32)  # dominant
+        w.write_uint(tokens.size, 64)
+        code = HuffmanCode.from_symbols(tokens, alphabet + 64)
+        code.serialize(w)
+        code.encode(tokens, w)
+        w.write_array(np.full(4, 2, dtype=np.uint64), np.full(4, 62, dtype=np.uint8))
+        with pytest.raises(ReproError):
+            decode_symbol_stream(w.getvalue())
+
+    def test_declared_count_beyond_stream_is_rejected(self):
+        _, blob = self.make(3)
+        forged = bytearray(blob)
+        forged[0:8] = (2**62).to_bytes(8, "big")  # absurd symbol count
+        with pytest.raises(ReproError):
+            decode_symbol_stream(bytes(forged))
+
+    def test_consistent_forged_run_stream_is_capped_by_max_size(self):
+        """Run tokens let a ~60-byte stream consistently declare a huge
+        count; callers that know the field size pass max_size and the
+        count is rejected before any allocation."""
+        from repro.encoding.bitstream import BitWriter
+        from repro.encoding.huffman import HuffmanCode
+
+        alphabet, k = 4, 30
+        tokens = np.full(4, alphabet + k, dtype=np.int64)
+        n = 4 * (1 << k)  # 2^32 symbols, internally consistent
+        w = BitWriter()
+        w.write_uint(n, 64)
+        w.write_uint(0, 32)
+        w.write_uint(alphabet, 32)
+        w.write_uint(1, 1)
+        w.write_uint(0, 32)
+        w.write_uint(tokens.size, 64)
+        code = HuffmanCode.from_symbols(tokens, alphabet + 64)
+        code.serialize(w)
+        code.encode(tokens, w)
+        w.write_array(np.zeros(4, dtype=np.uint64), np.full(4, k, dtype=np.uint8))
+        with pytest.raises(ReproError):
+            decode_symbol_stream(w.getvalue(), max_size=1 << 20)
+
+
+class TestLosslessFloatFuzz:
+    def test_truncations_and_flips(self):
+        rng = np.random.default_rng(3)
+        vals = np.cumsum(rng.standard_normal(2000)).astype(np.float64)
+        blob = compress_floats_lossless(vals)
+        for cut in sorted({0, 1, 16, *spread(len(blob), 25, 13).tolist()}):
+            with pytest.raises(ReproError):
+                decompress_floats_lossless(blob[:cut])
+        for bit in spread(len(blob) * 8, N_FLIPS, 14):
+            try:
+                out = decompress_floats_lossless(flip_bit(blob, int(bit)))
+            except ReproError:
+                continue
+            assert out.shape == vals.shape
+
+
+@pytest.mark.filterwarnings("ignore::RuntimeWarning")  # corrupt-value math
+@pytest.mark.parametrize(
+    "codec_cls", [SZ3, SZ2, QoZ, ZFP, MGARDPlus], ids=lambda c: c.name
+)
+class TestCodecStreamFuzz:
+    def blob(self, codec_cls, seed):
+        data = field(seed=seed)
+        codec = codec_cls()
+        return data, codec, codec.compress(data, rel_error_bound=1e-2)
+
+    def test_truncation_sweep(self, codec_cls):
+        data, codec, blob = self.blob(codec_cls, 4)
+        cuts = sorted({0, 3, 9, 17, *spread(len(blob), 30, 15).tolist()})
+        for cut in cuts:
+            with pytest.raises(ReproError):
+                codec.decompress(blob[:cut])
+
+    def test_header_and_table_flips(self, codec_cls):
+        """Flips in the first bytes (header + section sizes + entropy
+        tables) are the detectable region — they must raise or decode to
+        the declared shape, never crash with a non-library error."""
+        data, codec, blob = self.blob(codec_cls, 5)
+        front = min(len(blob) * 8, 2048)
+        self._flip_region(data, codec, blob, spread(front, N_FLIPS, 16))
+
+    def test_payload_flips(self, codec_cls):
+        data, codec, blob = self.blob(codec_cls, 6)
+        bits = len(blob) * 8
+        lo = min(bits - 1, 2048)
+        flips = lo + spread(bits - lo, N_FLIPS, 17)
+        self._flip_region(data, codec, blob, flips)
+
+    @staticmethod
+    def _flip_region(data, codec, blob, flips):
+        from repro.core.header import parse_header
+
+        for bit in flips:
+            corrupt = flip_bit(blob, int(bit))
+            try:
+                out = codec.decompress(corrupt)
+            except ReproError:
+                continue
+            # undetectable damage: the result must still honor whatever
+            # shape/dtype the (possibly flipped) header declares
+            header, _ = parse_header(corrupt)
+            assert out.shape == header.shape
+            assert out.dtype == header.dtype

@@ -1,0 +1,101 @@
+"""Regenerate the golden-stream fixtures.
+
+Run this ONLY against a revision whose stream format is the one being
+pinned (it was first run on the pre-vectorization decoder, PR 1 tree):
+
+    PYTHONPATH=src python tests/data/golden/generate.py
+
+The fixtures freeze (blob, expected output) pairs so later refactors of
+the *decoder* can prove byte-identical compatibility: every blob here
+must keep decoding to exactly the recorded expectation, and the encoder
+must keep producing exactly the recorded blob for the recorded input.
+"""
+
+import pathlib
+import struct
+
+import numpy as np
+
+from repro import MGARDPlus, QoZ, SZ2, SZ3, ZFP
+from repro.encoding.codec import encode_symbol_stream
+
+HERE = pathlib.Path(__file__).parent
+
+
+def symbol_streams():
+    rng = np.random.default_rng(1234)
+    cases = {}
+    # rle-heavy: dominant zero bin with occasional literals (typical quant indices)
+    syms = np.zeros(20000, dtype=np.int64)
+    hits = rng.choice(syms.size, size=600, replace=False)
+    syms[hits] = rng.integers(1, 40, size=hits.size)
+    cases["rle_heavy"] = syms
+    # near-uniform: defeats RLE, exercises the plain Huffman path
+    cases["uniform"] = rng.integers(0, 200, size=15000).astype(np.int64)
+    # skewed geometric: forces code lengths past the 16-bit first-level table
+    n = 24
+    p = 2.0 ** np.arange(n)
+    cases["long_codes"] = rng.choice(n, p=p / p.sum(), size=8000).astype(np.int64)
+    # sparse large alphabet
+    cases["sparse_alphabet"] = rng.choice(
+        np.array([3, 977, 40000, 65000], dtype=np.int64), size=5000
+    )
+    # tiny + empty edge cases
+    cases["tiny"] = np.array([7], dtype=np.int64)
+    cases["empty"] = np.zeros(0, dtype=np.int64)
+    return cases
+
+
+def codec_fields():
+    rng = np.random.default_rng(99)
+    x = np.cumsum(rng.standard_normal((28, 28, 28)), axis=0)
+    field3 = (x / np.abs(x).max()).astype(np.float32)
+    y = np.cumsum(rng.standard_normal((96, 96)), axis=1)
+    field2 = (y / np.abs(y).max()).astype(np.float64)
+    return field2, field3
+
+
+def v1_header_variant(blob: bytes) -> bytes:
+    """Re-pack a v2 plain stream as the flag-less v1 layout (same payload)."""
+    magic, version, codec, dt, ndim, flags = struct.unpack_from("<4sBBBBB", blob, 0)
+    assert magic == b"RPZ1" and version == 2 and flags == 0
+    (eb,) = struct.unpack_from("<d", blob, 9)
+    body = blob[17:]
+    return struct.pack("<4sBBBBd", magic, 1, codec, dt, ndim, eb) + body
+
+
+def main():
+    arrays = {}
+    for name, syms in symbol_streams().items():
+        blob = encode_symbol_stream(syms)
+        arrays[f"sym_{name}__input"] = syms
+        arrays[f"sym_{name}__blob"] = np.frombuffer(blob, dtype=np.uint8)
+
+    field2, field3 = codec_fields()
+    arrays["field2"] = field2
+    arrays["field3"] = field3
+    codecs = {
+        "sz2": (SZ2(), field2),
+        "sz3": (SZ3(), field3),
+        "qoz": (QoZ(metric="cr"), field3),
+        "zfp": (ZFP(), field3),
+        "mgard": (MGARDPlus(), field3),
+    }
+    for name, (codec, field) in codecs.items():
+        blob = codec.compress(field, rel_error_bound=1e-3)
+        recon = codec.decompress(blob)
+        arrays[f"codec_{name}__blob"] = np.frombuffer(blob, dtype=np.uint8)
+        arrays[f"codec_{name}__recon"] = recon
+    # one v1-header stream (decoders must keep accepting the old layout)
+    sz3_blob = arrays["codec_sz3__blob"].tobytes()
+    v1 = v1_header_variant(sz3_blob)
+    arrays["codec_sz3_v1__blob"] = np.frombuffer(v1, dtype=np.uint8)
+    arrays["codec_sz3_v1__recon"] = arrays["codec_sz3__recon"]
+
+    out = HERE / "golden_streams.npz"
+    np.savez_compressed(out, **arrays)
+    print(f"wrote {out} ({out.stat().st_size} bytes, {len(arrays)} arrays)")
+
+
+if __name__ == "__main__":
+    main()

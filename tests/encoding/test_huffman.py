@@ -134,6 +134,34 @@ class TestHuffmanRoundtrip:
         code.encode(syms, w)
         assert w.bit_length == code.encoded_bit_count(freqs)
 
+    def test_encoded_bit_count_rejects_mass_outside_alphabet(self):
+        code = HuffmanCode.from_frequencies(np.array([5, 5, 5]))
+        # longer histogram is fine while the extra bins are empty ...
+        assert code.encoded_bit_count(np.array([1, 1, 1, 0, 0])) > 0
+        # ... but silent truncation of real mass would misprice the stream
+        with pytest.raises(ValueError):
+            code.encoded_bit_count(np.array([1, 1, 1, 0, 7]))
+
+    def test_encoded_bit_count_rejects_unencodable_symbols(self):
+        code = HuffmanCode.from_frequencies(np.array([5, 5, 0]))
+        assert code.lengths[2] == 0
+        with pytest.raises(ValueError):
+            code.encoded_bit_count(np.array([1, 1, 1]))
+        # zero mass on the codeless symbol stays countable
+        assert code.encoded_bit_count(np.array([1, 1, 0])) == 2
+
+    def test_deserialize_rejects_kraft_violations(self):
+        from repro.errors import DecompressionError
+
+        # three 1-bit codes cannot coexist: 3 * 2^-1 > 1
+        w = BitWriter()
+        w.write_uint(3, 32)  # alphabet size
+        w.write_uint(3, 32)  # nonzero count
+        w.write_uint(1, 1)  # dense
+        w.write_array(np.array([1, 1, 1], dtype=np.uint64), 6)
+        with pytest.raises(DecompressionError):
+            HuffmanCode.deserialize(BitReader(w.getvalue()))
+
 
 @settings(max_examples=40, deadline=None)
 @given(

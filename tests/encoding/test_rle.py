@@ -92,6 +92,33 @@ class TestTokenizeRuns:
                 np.array([5], dtype=np.int64), np.zeros(0, dtype=np.uint64), 0, 4
             )
 
+    def test_detokenize_rejects_oversized_remainder(self):
+        """A class-k run must carry a remainder < 2**k; anything larger is
+        a forged length that would balloon np.repeat."""
+        tokens = np.array([7, 0, 7], dtype=np.int64)  # runs of class 7 - 4 = 3
+        extras = np.array([8, 1], dtype=np.uint64)  # 8 >= 2**3: forged
+        with pytest.raises(DecompressionError):
+            detokenize_runs(tokens, extras, dominant=0, alphabet_size=4)
+        extras = np.array([7, 1], dtype=np.uint64)  # legal remainders decode
+        out = detokenize_runs(tokens, extras, dominant=0, alphabet_size=4)
+        assert out.size == (8 + 7) + 1 + (8 + 1)
+
+    def test_detokenize_rejects_wrong_expected_size(self):
+        syms = np.array([0, 0, 0, 0, 2, 0, 0], dtype=np.int64)
+        tokens, extras, _ = tokenize_runs(syms, 0, 4)
+        out = detokenize_runs(tokens, extras, 0, 4, expected_size=syms.size)
+        np.testing.assert_array_equal(out, syms)
+        with pytest.raises(DecompressionError):
+            detokenize_runs(tokens, extras, 0, 4, expected_size=syms.size + 1)
+
+    def test_detokenize_rejects_hostile_top_class(self):
+        """Class 63 encodes runs >= 2**63 — unrepresentable; must raise,
+        not overflow int64 into a negative repeat count."""
+        tokens = np.array([4 + 63], dtype=np.int64)
+        extras = np.array([0], dtype=np.uint64)
+        with pytest.raises(DecompressionError):
+            detokenize_runs(tokens, extras, dominant=0, alphabet_size=4)
+
     def test_dominant_not_zero(self):
         syms = np.array([3, 3, 3, 1, 3, 3], dtype=np.int64)
         out, tokens, _, _ = roundtrip(syms, 3, 4)
