@@ -42,6 +42,7 @@ _LAZY = {
     "ZFP": "repro.compressors.zfp",
     "MGARDPlus": "repro.compressors.mgard",
     "QoZ": "repro.core.qoz",
+    "FrozenPlan": "repro.core.plan_cache",
     "ChunkedFile": "repro.chunked",
     "compress_chunked": "repro.chunked",
     "compress_chunked_to_file": "repro.chunked",

@@ -100,6 +100,7 @@ def _cmd_compress(args) -> int:
         codec=args.codec,
         chunks=args.chunks,
         processes=args.processes,
+        per_chunk_tuning=args.per_chunk_tuning,
         **_eb_kwargs(args),
     )
     dt = time.perf_counter() - t0
@@ -206,6 +207,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="value-range-relative error bound")
     c.add_argument("--processes", type=int, default=1,
                    help="process-pool width for chunk fan-out (default 1)")
+    c.add_argument("--per-chunk-tuning", action="store_true",
+                   help="re-run sampling/selection/tuning on every chunk "
+                        "instead of deriving one shared plan from the full "
+                        "field (slower; marginally better per-chunk ratios)")
     c.set_defaults(func=_cmd_compress)
 
     d = sub.add_parser(

@@ -33,7 +33,7 @@ from repro.chunked.container import (
 from repro.chunked.tiling import ChunkGrid, Slab, grid_for
 from repro.compressors.base import codec_name_for_id, decompress_any, get_compressor
 from repro.errors import CompressionError
-from repro.utils import SUPPORTED_DTYPES, validate_error_bound
+from repro.utils import validate_error_bound, validate_field_lazy
 
 PathLike = Union[str, "os.PathLike[str]"]
 
@@ -43,19 +43,22 @@ def _resolve_eb_streaming(
     grid: ChunkGrid,
     error_bound: Optional[float],
     rel_error_bound: Optional[float],
-) -> float:
-    """Absolute bound for the whole field, scanning at most a chunk at a time.
+) -> Tuple[float, Optional[float]]:
+    """``(absolute bound, value range | None)`` for the whole field,
+    scanning at most a chunk at a time.
 
     Mirrors :func:`repro.utils.resolve_error_bound` (including the
     constant-field fallback) but never materializes more than one chunk,
-    so memory-mapped inputs stay out of core.
+    so memory-mapped inputs stay out of core.  The value range is only
+    known (and returned) when a relative bound forced the scan; plan
+    derivation reuses it instead of re-scanning.
     """
     if (error_bound is None) == (rel_error_bound is None):
         raise CompressionError(
             "specify exactly one of error_bound= or rel_error_bound="
         )
     if error_bound is not None:
-        return validate_error_bound(error_bound)
+        return validate_error_bound(error_bound), None
     rel = validate_error_bound(rel_error_bound)
     lo, hi = np.inf, -np.inf
     for i in grid:
@@ -67,22 +70,8 @@ def _resolve_eb_streaming(
     vrange = hi - lo
     if vrange == 0.0:
         scale = abs(lo) or 1.0
-        return rel * scale
-    return rel * vrange
-
-
-def _validate_field(data) -> np.ndarray:
-    """Shape/dtype validation that does NOT copy (mmap-friendly)."""
-    data = np.asanyarray(data)
-    if data.dtype not in SUPPORTED_DTYPES:
-        raise CompressionError(
-            f"data must be float32 or float64, got dtype {data.dtype}"
-        )
-    if data.size == 0:
-        raise CompressionError("data must be non-empty")
-    if data.ndim < 1 or data.ndim > 4:
-        raise CompressionError(f"data must have 1..4 dimensions, got {data.ndim}")
-    return data
+        return rel * scale, vrange
+    return rel * vrange, vrange
 
 
 def compress_chunked_to_file(
@@ -94,6 +83,7 @@ def compress_chunked_to_file(
     error_bound: Optional[float] = None,
     rel_error_bound: Optional[float] = None,
     processes: Optional[int] = None,
+    per_chunk_tuning: bool = False,
 ) -> ContainerInfo:
     """Tile ``data``, compress every chunk, stream a container to ``file``.
 
@@ -104,12 +94,30 @@ def compress_chunked_to_file(
     a process pool (:func:`repro.parallel.executor.compress_chunks_parallel`)
     in bounded batches so memory stays proportional to the batch, not the
     field.
+
+    When the codec supports plan derivation (QoZ, SZ3), its sampling /
+    selection / tuning runs **once** over the full field and the frozen
+    plan is broadcast to every chunk — the dominant cost of chunked QoZ
+    compression, otherwise re-paid per chunk, is amortized to one payment.
+    ``per_chunk_tuning=True`` opts back into independent per-chunk
+    analysis: marginally better per-chunk ratios (each chunk gets its own
+    (alpha, beta) and interpolators) at a many-fold compression-time cost.
+    The error bound is enforced point-wise by the quantizer either way.
     """
-    data = _validate_field(data)
+    data = validate_field_lazy(data)
     codec_kwargs = codec_kwargs or {}
     codec_inst = get_compressor(codec, **codec_kwargs)
     grid = grid_for(data.shape, chunks)
-    eb = _resolve_eb_streaming(data, grid, error_bound, rel_error_bound)
+    eb, vrange = _resolve_eb_streaming(data, grid, error_bound, rel_error_bound)
+
+    plan = None
+    if not per_chunk_tuning and hasattr(codec_inst, "derive_plan"):
+        plan = codec_inst.derive_plan(data, error_bound=eb, data_range=vrange)
+
+    def compress_one(chunk: np.ndarray) -> bytes:
+        if plan is not None:
+            return codec_inst.compress_with_plan(chunk, plan, error_bound=eb)
+        return codec_inst.compress(chunk, error_bound=eb)
 
     own = isinstance(file, (str, bytes)) or hasattr(file, "__fspath__")
     fh: BinaryIO = open(file, "wb") if own else file
@@ -118,7 +126,7 @@ def compress_chunked_to_file(
             if processes in (None, 0, 1) or grid.n_chunks <= 1:
                 for i in grid:
                     chunk = np.ascontiguousarray(data[grid.chunk_slices(i)])
-                    w.write_chunk(i, codec_inst.compress(chunk, error_bound=eb))
+                    w.write_chunk(i, compress_one(chunk))
             else:
                 from repro.parallel.executor import compress_chunks_streaming
 
@@ -132,6 +140,7 @@ def compress_chunked_to_file(
                     codec_kwargs=codec_kwargs,
                     error_bound=eb,
                     processes=processes,
+                    plan=plan,
                 ):
                     w.write_chunk(i, blob)
             info = w.finalize()
@@ -149,6 +158,7 @@ def compress_chunked(
     error_bound: Optional[float] = None,
     rel_error_bound: Optional[float] = None,
     processes: Optional[int] = None,
+    per_chunk_tuning: bool = False,
 ) -> bytes:
     """In-memory variant of :func:`compress_chunked_to_file`."""
     import io
@@ -163,6 +173,7 @@ def compress_chunked(
         error_bound=error_bound,
         rel_error_bound=rel_error_bound,
         processes=processes,
+        per_chunk_tuning=per_chunk_tuning,
     )
     return buf.getvalue()
 

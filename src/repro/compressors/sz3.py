@@ -11,18 +11,21 @@ interpolation weakness QoZ's anchors fix (paper §V-B1).
 from __future__ import annotations
 
 import math
+from typing import Optional
 
 import numpy as np
 
 from repro.compressors.base import Compressor, register
-from repro.core.engine import InterpPlan, LevelPlan, interp_compress, interp_decompress
+from repro.core.engine import interp_decompress
 from repro.core.interpolation import METHOD_IDS
-from repro.core.levels import ORDER_FORWARD, max_level_for_shape
+from repro.core.levels import ORDER_FORWARD
+from repro.core.plan_cache import FrozenPlan, SharedPlanMixin, execute_frozen_plan
 from repro.core.sampling import sample_blocks
 from repro.core.selection import select_global_interpolator
-from repro.core.stream import pack_interp_payload, unpack_interp_payload
+from repro.core.stream import unpack_interp_payload
 from repro.errors import ConfigurationError
 from repro.quantize.linear import DEFAULT_RADIUS
+from repro.utils import resolve_error_bound, validate_field_lazy
 
 #: default fraction of points used for interpolator selection
 DEFAULT_SAMPLE_RATE = 0.01
@@ -30,7 +33,7 @@ DEFAULT_SAMPLE_BLOCK = 32
 
 
 @register
-class SZ3(Compressor):
+class SZ3(SharedPlanMixin, Compressor):
     """SZ3 baseline (interpolation + linear quantization + Huffman/RLE)."""
 
     name = "sz3"
@@ -61,20 +64,43 @@ class SZ3(Compressor):
         blocks, _ = sample_blocks(data, self.sample_block, self.sample_rate)
         return select_global_interpolator(blocks, eb, self.radius)
 
-    def _compress(self, data: np.ndarray, eb: float) -> bytes:
+    def derive_plan(
+        self,
+        data: np.ndarray,
+        error_bound: Optional[float] = None,
+        rel_error_bound: Optional[float] = None,
+        data_range: Optional[float] = None,
+    ) -> FrozenPlan:
+        """Run the sampled interpolator selection only; return a frozen plan.
+
+        SZ3's plan has no (alpha, beta) — a uniform bound across levels is
+        ``alpha = beta = 1`` in Eq. 5 terms — so freezing captures just
+        the global interpolator choice and the quantizer radius.
+        """
+        data = validate_field_lazy(data)
+        eb = resolve_error_bound(
+            data, error_bound, rel_error_bound, data_range=data_range
+        )
         method, order_id = self._choose_interpolator(data, eb)
-        top = max_level_for_shape(data.shape)
-        plan = InterpPlan(
-            levels={
-                l: LevelPlan(eb=eb, method=method, order_id=order_id)
-                for l in range(1, top + 1)
-            },
+        return FrozenPlan(
+            codec=self.name,
+            eb=eb,
+            interpolators={1: (method, order_id)},
             anchor_stride=0,
             radius=self.radius,
-            cast_dtype=data.dtype,
         )
-        codes, outliers, known, _work = interp_compress(data, plan)
-        return pack_interp_payload(plan, top, known, codes, outliers, data.dtype)
+
+    def _compress(self, data: np.ndarray, eb: float) -> bytes:
+        method, order_id = self._choose_interpolator(data, eb)
+        frozen = FrozenPlan(
+            codec=self.name,
+            eb=eb,
+            interpolators={1: (method, order_id)},
+            anchor_stride=0,
+            radius=self.radius,
+        )
+        payload, _execution = execute_frozen_plan(data, frozen, eb)
+        return payload
 
     def _decompress(self, payload: bytes, header) -> np.ndarray:
         plan, _top, known, codes, outliers = unpack_interp_payload(

@@ -9,6 +9,8 @@
   (paper Algorithm 1).
 - :mod:`repro.core.tuning` — quality-metric-driven (alpha, beta)
   auto-tuning (paper §VI-C, Table I).
+- :mod:`repro.core.plan_cache` — frozen derivation results
+  (:class:`FrozenPlan`) split from execution, for chunk/worker reuse.
 - :mod:`repro.core.qoz` — the public QoZ compressor.
 
 The QoZ class is importable lazily via ``repro.core.qoz`` (kept out of this

@@ -135,10 +135,12 @@ def execute_passes(
             pred = predict_targets(even, m, lp.method)
             targets = view[..., 1::2]
             if compress:
-                values = np.ascontiguousarray(targets)
+                # quantize_block reads its inputs fully before returning,
+                # and `targets` is only overwritten afterwards — the strided
+                # view can be consumed in place, no contiguous copy needed
                 if stats is not None:
-                    stats.record(level, np.abs(values - pred))
-                recon = quantizer.quantize(values, pred, lp.eb)
+                    stats.record(level, np.abs(targets - pred))
+                recon = quantizer.quantize(targets, pred, lp.eb)
                 if closed_loop:
                     targets[...] = recon
             else:
@@ -184,19 +186,26 @@ def interp_compress(
     plan: InterpPlan,
     batch: bool = False,
     stats: Optional[PassStats] = None,
+    keep_work: bool = True,
 ):
     """Full compression run.
 
     Returns ``(codes, outliers, known, work)`` — quantization codes in
     pass order, exact outlier values, losslessly-kept points, and the
     reconstruction the decompressor will produce (useful for online
-    metric evaluation without a decompression round-trip).
+    metric evaluation without a decompression round-trip).  Callers that
+    discard the reconstruction should pass ``keep_work=False``: the full
+    float64 work array is then released before the function returns
+    (``work`` comes back as ``None``), so it is not alive while the
+    caller entropy-codes the result.
     """
     work = data.astype(np.float64, copy=True)
     known = seed_known_points(work, plan, batch=batch)
     quantizer = LinearQuantizer(radius=plan.radius, cast_dtype=plan.cast_dtype)
     execute_passes(work, plan, quantizer, compress=True, batch=batch, stats=stats)
     codes, outliers = quantizer.harvest()
+    if not keep_work:
+        work = None
     return codes, outliers, known, work
 
 

@@ -1,0 +1,166 @@
+"""Frozen compression plans: derive once, execute everywhere.
+
+QoZ's online pipeline (paper Fig. 2) runs block sampling, Algorithm 1
+interpolator selection, and the Eq. 5 (alpha, beta) grid search before a
+single payload byte is produced.  All of that work answers one question —
+*which plan to run* — and the answer does not change between the chunks of
+one field compressed under one bound.  This module splits the two halves:
+
+* :class:`FrozenPlan` is the small, picklable answer: tuned (alpha, beta),
+  the selected per-level interpolators, and the geometry knobs.  It is
+  shape-free — per-level bounds and the level count are re-derived for
+  whatever array it is applied to, so one plan derived from a full field
+  drives every chunk (and broadcasts cheaply to pool workers).
+* :func:`execute_frozen_plan` is the execution half: expand the frozen
+  plan into a concrete :class:`~repro.core.engine.InterpPlan` for one
+  array and produce the standard interpolation payload.  It is the exact
+  code path the inline compressors run after their own derivation, so a
+  stream compressed with a frozen plan is byte-identical to inline
+  compression that derived the same plan.
+
+The error-bound guarantee is unaffected by plan sharing: the linear
+quantizer verifies every point against the bound at execution time, so a
+plan tuned on one sample can never violate the bound on another chunk —
+only its compression ratio is (mildly) at stake.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.core.engine import InterpPlan, interp_compress
+from repro.core.levels import max_level_for_anchor, max_level_for_shape
+from repro.core.stream import pack_interp_payload
+from repro.core.tuning import build_plan
+from repro.errors import CompressionError, ConfigurationError
+from repro.quantize.linear import DEFAULT_RADIUS
+
+
+@dataclass(frozen=True)
+class FrozenPlan:
+    """Everything QoZ/SZ3 derive online, frozen for reuse.
+
+    ``interpolators`` maps level -> (method, order_id) with the usual
+    fallback: levels above the highest recorded one reuse it (paper
+    §VI-B).  ``eb`` records the absolute bound the plan was derived at;
+    execution defaults to it but may override (alpha/beta rescale the
+    per-level bounds from whatever bound is in force).  ``metric`` is
+    provenance only — which quality metric the tuning optimized — and
+    never affects execution.
+    """
+
+    codec: str
+    eb: float
+    alpha: float = 1.0
+    beta: float = 1.0
+    interpolators: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+    anchor_stride: int = 0
+    radius: int = DEFAULT_RADIUS
+    metric: str = "cr"
+
+    def interpolator(self, level: int) -> Tuple[int, int]:
+        """Interpolator for a level (levels above the top reuse the top)."""
+        if level in self.interpolators:
+            return self.interpolators[level]
+        return self.interpolators[max(self.interpolators)]
+
+    def max_level(self, shape) -> int:
+        """Top interpolation level for a concrete array shape."""
+        if self.anchor_stride:
+            return min(
+                max_level_for_anchor(self.anchor_stride),
+                max_level_for_shape(shape),
+            )
+        return max_level_for_shape(shape)
+
+    def build_interp_plan(
+        self, shape, eb: float, cast_dtype=np.float64
+    ) -> Tuple[InterpPlan, int]:
+        """Expand into a concrete engine plan for one array shape.
+
+        Delegates to :func:`repro.core.tuning.build_plan` — the same
+        Eq. 5 expansion the tuning trials run — so frozen-plan execution
+        can never drift from what tuning scored.
+        """
+        if not self.interpolators:
+            raise ConfigurationError("frozen plan has no interpolator levels")
+        top = self.max_level(shape)
+        plan = build_plan(
+            eb, self.alpha, self.beta, self, top, self.anchor_stride, self.radius
+        )
+        plan.cast_dtype = cast_dtype
+        return plan, top
+
+
+@dataclass
+class PlanExecution:
+    """Diagnostics of one frozen-plan execution."""
+
+    max_level: int
+    n_codes: int
+    n_outliers: int
+
+
+def execute_frozen_plan(
+    data: np.ndarray, frozen: FrozenPlan, eb: float
+) -> Tuple[bytes, PlanExecution]:
+    """Compress ``data`` under a frozen plan; returns (payload, stats).
+
+    This is the shared execution half of the interpolation compressors:
+    identical to what :meth:`QoZ._compress` / :meth:`SZ3._compress` run
+    after inline derivation, which is what makes plan reuse byte-stable.
+    """
+    plan, top = frozen.build_interp_plan(data.shape, eb, cast_dtype=data.dtype)
+    codes, outliers, known, _ = interp_compress(data, plan, keep_work=False)
+    payload = pack_interp_payload(plan, top, known, codes, outliers, data.dtype)
+    return payload, PlanExecution(
+        max_level=top, n_codes=int(codes.size), n_outliers=int(outliers.size)
+    )
+
+
+class SharedPlanMixin:
+    """Adds ``compress_with_plan`` to interpolation-engine compressors.
+
+    Subclasses provide ``derive_plan`` (the analysis half differs per
+    codec); execution is shared.  ``_note_plan_execution`` is a hook for
+    codecs that expose a last-compression report.
+    """
+
+    def compress_with_plan(
+        self,
+        data: np.ndarray,
+        plan: FrozenPlan,
+        error_bound: float | None = None,
+    ) -> bytes:
+        """Compress ``data`` with a previously derived :class:`FrozenPlan`.
+
+        Skips sampling, selection, and tuning entirely.  ``error_bound``
+        defaults to the bound the plan was derived at; passing a different
+        absolute bound rescales the per-level bounds through the plan's
+        (alpha, beta).  The returned stream is a standard self-describing
+        stream — decompression needs no plan.
+        """
+        from repro.core.header import pack_header
+        from repro.utils import validate_error_bound, validate_input
+
+        if plan.codec != self.name:
+            raise CompressionError(
+                f"plan was derived by codec {plan.codec!r}, not {self.name!r}"
+            )
+        data = validate_input(data)
+        eb = (
+            validate_error_bound(error_bound)
+            if error_bound is not None
+            else validate_error_bound(plan.eb)
+        )
+        payload, execution = execute_frozen_plan(data, plan, eb)
+        self._note_plan_execution(plan, eb, execution)
+        return pack_header(self.codec_id, data.dtype, data.shape, eb) + payload
+
+    def _note_plan_execution(
+        self, plan: FrozenPlan, eb: float, execution: PlanExecution
+    ) -> None:
+        """Hook: record diagnostics of a plan execution (default: none)."""

@@ -27,25 +27,30 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.compressors.base import Compressor, register
-from repro.core.engine import InterpPlan, LevelPlan, interp_compress, interp_decompress
+from repro.core.engine import interp_decompress
 from repro.core.interpolation import CUBIC
 from repro.core.levels import (
     ORDER_FORWARD,
     max_level_for_anchor,
     max_level_for_shape,
 )
+from repro.core.plan_cache import (
+    FrozenPlan,
+    PlanExecution,
+    SharedPlanMixin,
+    execute_frozen_plan,
+)
 from repro.core.sampling import sample_blocks
 from repro.core.selection import SelectionResult, select_interpolators
-from repro.core.stream import pack_interp_payload, unpack_interp_payload
+from repro.core.stream import unpack_interp_payload
 from repro.core.tuning import (
     TUNING_METRICS,
     TuningOutcome,
-    level_error_bounds,
     tune_parameters,
 )
 from repro.errors import ConfigurationError
 from repro.quantize.linear import DEFAULT_RADIUS
-from repro.utils import value_range
+from repro.utils import resolve_error_bound, validate_field_lazy, value_range
 
 #: paper §VII-A4 experimental configuration.  One deviation: the paper
 #: samples 16^3 blocks for 3-D data; at our reduced dataset sizes those
@@ -70,10 +75,15 @@ class CompressionReport:
     anchor_stride: int
     n_outliers: int
     n_codes: int
+    #: the frozen derivation behind this compression — reusable via
+    #: :meth:`QoZ.compress_with_plan`; None when a shared plan was executed
+    plan: Optional[FrozenPlan] = None
+    #: True when this compression reused a plan instead of deriving one
+    from_plan: bool = False
 
 
 @register
-class QoZ(Compressor):
+class QoZ(SharedPlanMixin, Compressor):
     """Quality-metric-oriented error-bounded lossy compressor (SC22)."""
 
     name = "qoz"
@@ -131,12 +141,22 @@ class QoZ(Compressor):
             sample_rate=self.sample_rate or base["sample_rate"],
         )
 
-    # ----------------------------------------------------------- compress
-    def _compress(self, data: np.ndarray, eb: float) -> bytes:
+    # ------------------------------------------------------ plan derivation
+    def _derive(
+        self, data: np.ndarray, eb: float, data_range: Optional[float] = None
+    ) -> Tuple[FrozenPlan, SelectionResult, Optional[TuningOutcome]]:
+        """The analysis half of Fig. 2: sampling + selection + tuning.
+
+        Touches ``data`` only through block-sized reads (plus one min/max
+        scan when a reconstruction metric needs the value range), so a
+        memory-mapped field stays out of core.
+        """
         cfg = self._resolved_config(data.ndim)
         anchor = int(cfg["anchor_stride"]) if self.use_anchors else 0
         if anchor:
-            max_level = min(max_level_for_anchor(anchor), max_level_for_shape(data.shape))
+            max_level = min(
+                max_level_for_anchor(anchor), max_level_for_shape(data.shape)
+            )
         else:
             max_level = max_level_for_shape(data.shape)
 
@@ -149,37 +169,76 @@ class QoZ(Compressor):
 
         selection = self._run_selection(blocks, eb)
         alpha, beta, tuning = self._run_tuning(
-            blocks, eb, selection, max_level, data
+            blocks, eb, selection, max_level, data, data_range
         )
-
-        ebs = level_error_bounds(eb, alpha, beta, max_level)
-        levels = {
-            l: LevelPlan(
-                eb=ebs[l],
-                method=selection.interpolator(l)[0],
-                order_id=selection.interpolator(l)[1],
-            )
-            for l in range(1, max_level + 1)
-        }
-        plan = InterpPlan(
-            levels=levels,
-            anchor_stride=anchor,
-            radius=self.radius,
-            cast_dtype=data.dtype,
-        )
-        codes, outliers, known, _work = interp_compress(data, plan)
-        self.last_report = CompressionReport(
+        frozen = FrozenPlan(
+            codec=self.name,
+            eb=eb,
             alpha=alpha,
             beta=beta,
+            interpolators=dict(selection.per_level),
+            anchor_stride=anchor,
+            radius=self.radius,
+            metric=self.metric,
+        )
+        return frozen, selection, tuning
+
+    def derive_plan(
+        self,
+        data: np.ndarray,
+        error_bound: Optional[float] = None,
+        rel_error_bound: Optional[float] = None,
+        data_range: Optional[float] = None,
+    ) -> FrozenPlan:
+        """Run sampling + selection + tuning only; return the frozen plan.
+
+        The plan pickles small and is shape-free: apply it to the same
+        field, to its chunks, or to sibling fields of the same dump via
+        :meth:`compress_with_plan`.  ``data_range`` (max - min of the full
+        field) short-circuits the value scan that a relative bound or a
+        reconstruction metric would otherwise need — the chunked path
+        passes the range it already computed while resolving the bound.
+        """
+        data = validate_field_lazy(data)
+        if rel_error_bound is not None and data_range is None:
+            data_range = value_range(data)  # one scan, shared with tuning
+        eb = resolve_error_bound(
+            data, error_bound, rel_error_bound, data_range=data_range
+        )
+        frozen, _selection, _tuning = self._derive(data, eb, data_range)
+        return frozen
+
+    # ----------------------------------------------------------- compress
+    def _compress(self, data: np.ndarray, eb: float) -> bytes:
+        frozen, selection, tuning = self._derive(data, eb)
+        payload, execution = execute_frozen_plan(data, frozen, eb)
+        self.last_report = CompressionReport(
+            alpha=frozen.alpha,
+            beta=frozen.beta,
             selection=selection if self.selection != "none" else None,
             tuning=tuning,
-            max_level=max_level,
-            anchor_stride=anchor,
-            n_outliers=int(outliers.size),
-            n_codes=int(codes.size),
+            max_level=execution.max_level,
+            anchor_stride=frozen.anchor_stride,
+            n_outliers=execution.n_outliers,
+            n_codes=execution.n_codes,
+            plan=frozen,
         )
-        return pack_interp_payload(
-            plan, max_level, known, codes, outliers, data.dtype
+        return payload
+
+    def _note_plan_execution(
+        self, plan: FrozenPlan, eb: float, execution: PlanExecution
+    ) -> None:
+        self.last_report = CompressionReport(
+            alpha=plan.alpha,
+            beta=plan.beta,
+            selection=None,
+            tuning=None,
+            max_level=execution.max_level,
+            anchor_stride=plan.anchor_stride,
+            n_outliers=execution.n_outliers,
+            n_codes=execution.n_codes,
+            plan=None,
+            from_plan=True,
         )
 
     def _run_selection(self, blocks, eb: float) -> SelectionResult:
@@ -196,19 +255,29 @@ class QoZ(Compressor):
         return result
 
     def _run_tuning(
-        self, blocks, eb: float, selection: SelectionResult, max_level: int, data
+        self,
+        blocks,
+        eb: float,
+        selection: SelectionResult,
+        max_level: int,
+        data,
+        data_range: Optional[float] = None,
     ) -> Tuple[float, float, Optional[TuningOutcome]]:
         if self.fixed_alpha is not None:
             return float(self.fixed_alpha), float(self.fixed_beta), None
         if not self.tune or blocks is None:
             return 1.0, 1.0, None
+        # only the reconstruction metrics consume the value range; 'cr' and
+        # 'ac' tuning skip the full min/max scan entirely
+        if data_range is None and self.metric in ("psnr", "ssim"):
+            data_range = value_range(data)
         outcome = tune_parameters(
             blocks,
             eb,
             selection,
             max_level,
             metric=self.metric,
-            data_range=value_range(data),
+            data_range=1.0 if data_range is None else data_range,
             radius=self.radius,
         )
         return outcome.alpha, outcome.beta, outcome

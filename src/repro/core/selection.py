@@ -20,7 +20,12 @@ import numpy as np
 
 from repro.core.engine import InterpPlan, LevelPlan, PassStats, execute_passes
 from repro.core.interpolation import CUBIC, LINEAR
-from repro.core.levels import ORDER_BACKWARD, ORDER_FORWARD, max_level_for_shape
+from repro.core.levels import (
+    ORDER_BACKWARD,
+    ORDER_FORWARD,
+    dim_order,
+    max_level_for_shape,
+)
 from repro.quantize.linear import DEFAULT_RADIUS, LinearQuantizer
 
 #: the four interpolator candidates of Algorithm 1
@@ -30,6 +35,26 @@ CANDIDATES: Tuple[Tuple[int, int], ...] = (
     (CUBIC, ORDER_FORWARD),
     (CUBIC, ORDER_BACKWARD),
 )
+
+
+def distinct_candidates(ndim: int) -> Tuple[Tuple[int, int], ...]:
+    """The Algorithm 1 candidates with redundant trials removed.
+
+    Two candidates are interchangeable when their order ids resolve to the
+    same axis traversal (always the case for 1-D data, where forward and
+    backward collapse) — trial-compressing both would score identical
+    plans twice.  The first occurrence is kept, so selection outcomes are
+    unchanged.
+    """
+    seen = set()
+    out = []
+    for method, order_id in CANDIDATES:
+        key = (method, dim_order(ndim, order_id))
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append((method, order_id))
+    return tuple(out)
 
 
 @dataclass
@@ -89,15 +114,16 @@ def select_interpolators(
     """Algorithm 1: per-level best-fit interpolator over sampled blocks."""
     block_shape = blocks.shape[1:]
     top = max_level_for_shape(block_shape)
+    candidates = distinct_candidates(len(block_shape))
     work = blocks.astype(np.float64, copy=True)
     per_level: Dict[int, Tuple[int, int]] = {}
     l1: Dict[int, float] = {}
     for level in range(top, 0, -1):
         best_score = np.inf
         best_l1 = np.inf
-        best = CANDIDATES[0]
+        best = candidates[0]
         best_state = None
-        for method, order_id in CANDIDATES:
+        for method, order_id in candidates:
             score, err, state = _trial_level(
                 work, level, eb, method, order_id, radius
             )
@@ -122,7 +148,7 @@ def select_global_interpolator(
     top = max_level_for_shape(block_shape)
     best_err = np.inf
     best = CANDIDATES[0]
-    for method, order_id in CANDIDATES:
+    for method, order_id in distinct_candidates(len(block_shape)):
         plan = InterpPlan(
             levels={
                 l: LevelPlan(eb=eb, method=method, order_id=order_id)

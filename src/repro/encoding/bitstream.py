@@ -27,17 +27,33 @@ _WINDOW_CACHE_BYTES = 1 << 16
 
 
 class BitWriter:
-    """Accumulate values with explicit bit widths; emit packed bytes."""
+    """Accumulate values with explicit bit widths; emit packed bytes.
+
+    Scalar ``write_uint`` calls are buffered in plain Python lists and
+    folded into one numpy chunk only when an array write or a flush needs
+    them — header/param-block writers issue hundreds of scalar fields, and
+    materializing a one-element array per field dominated their cost.
+    """
 
     def __init__(self) -> None:
         self._values: List[np.ndarray] = []
         self._lengths: List[np.ndarray] = []
+        self._pending_vals: List[int] = []
+        self._pending_bits: List[int] = []
         self._total_bits = 0
 
     @property
     def bit_length(self) -> int:
         """Number of bits written so far."""
         return self._total_bits
+
+    def _flush_scalars(self) -> None:
+        """Fold buffered scalar writes into one array chunk (order kept)."""
+        if self._pending_vals:
+            self._values.append(np.array(self._pending_vals, dtype=np.uint64))
+            self._lengths.append(np.array(self._pending_bits, dtype=np.uint8))
+            self._pending_vals = []
+            self._pending_bits = []
 
     def write_uint(self, value: int, nbits: int) -> None:
         """Write a single unsigned integer using ``nbits`` bits (0..64)."""
@@ -48,8 +64,8 @@ class BitWriter:
         value = int(value)
         if value < 0 or (nbits < 64 and value >> nbits):
             raise ValueError(f"value {value} does not fit in {nbits} bits")
-        self._values.append(np.array([value], dtype=np.uint64))
-        self._lengths.append(np.array([nbits], dtype=np.uint8))
+        self._pending_vals.append(value)
+        self._pending_bits.append(nbits)
         self._total_bits += nbits
 
     def write_array(self, values: np.ndarray, nbits) -> None:
@@ -70,6 +86,7 @@ class BitWriter:
                 raise ValueError("values/nbits shape mismatch")
             if values.size == 0:
                 return
+        self._flush_scalars()
         self._values.append(values.ravel())
         self._lengths.append(lengths.ravel())
         self._total_bits += int(lengths.sum(dtype=np.int64))
@@ -78,17 +95,21 @@ class BitWriter:
         """Pack everything written so far into bytes (zero-padded tail)."""
         if self._total_bits == 0:
             return b""
+        self._flush_scalars()
         values = np.concatenate(self._values)
         lengths = np.concatenate(self._lengths).astype(np.int64)
         total = int(lengths.sum())
-        # position of the first bit of each value in the output stream
+        # bit position just past each value in the output stream
         ends = np.cumsum(lengths)
-        starts = ends - lengths
-        # per-output-bit index of the source value and the in-value offset
-        src = np.repeat(np.arange(values.size, dtype=np.int64), lengths)
-        offs = np.arange(total, dtype=np.int64) - np.repeat(starts, lengths)
-        shift = (np.repeat(lengths, lengths) - 1 - offs).astype(np.uint64)
-        bits = ((values[src] >> shift) & np.uint64(1)).astype(np.uint8)
+        # for output bit i coming from value v: its in-value shift is
+        # (end_of_v - 1 - i), so two repeats (value, end) cover the whole
+        # spread — no per-bit source-index gather or offset array needed
+        shift = np.repeat(ends, lengths)
+        shift -= 1
+        shift -= np.arange(total, dtype=np.int64)
+        bits = (
+            (np.repeat(values, lengths) >> shift.astype(np.uint64)) & np.uint64(1)
+        ).astype(np.uint8)
         return np.packbits(bits).tobytes()
 
 

@@ -15,6 +15,7 @@ from repro.encoding.huffman import HuffmanCode
 from repro.encoding.rle import (
     RUN_CLASSES,
     detokenize_runs,
+    run_token_histogram,
     run_token_widths,
     tokenize_runs,
 )
@@ -128,26 +129,24 @@ def shannon_bits(freqs: np.ndarray) -> float:
 def estimate_stream_bits(codes: np.ndarray, use_rle: bool = True) -> float:
     """Predict the encoded size of ``codes`` in bits without encoding.
 
-    Runs the (cheap, vectorized) tokenizer and scores the token histogram
-    with its Shannon entropy plus the run extra bits plus an approximate
-    table cost.  Used by QoZ's (alpha, beta) auto-tuning, where hundreds of
-    candidate streams are scored per compression.
+    Scores the token histogram with its Shannon entropy plus the run extra
+    bits plus an approximate table cost.  The histogram comes straight
+    from the run-length decomposition (:func:`run_token_histogram`) — the
+    token stream itself is never materialized, because QoZ's (alpha, beta)
+    auto-tuning calls this for every candidate trial and the tokenizer's
+    ``np.repeat`` expansion dominated its cost.
     """
     codes = np.ascontiguousarray(codes, dtype=np.int64)
     if codes.size == 0:
         return 0.0
     lo = int(codes.min())
     syms = codes - lo
-    alphabet = int(syms.max()) + 1
     counts = np.bincount(syms)
     dom = int(np.argmax(counts))
     header = 64 + 32 + 32 + 1
     if use_rle and counts[dom] >= RLE_DOMINANCE_THRESHOLD * codes.size:
-        tokens, _, extra_widths = tokenize_runs(syms, dom, alphabet)
-        tok_counts = np.bincount(tokens)
-        payload = shannon_bits(tok_counts) + float(
-            extra_widths.astype(np.int64).sum()
-        )
+        tok_counts, extra_bits = run_token_histogram(syms, dom, counts)
+        payload = shannon_bits(tok_counts) + float(extra_bits)
         table = 38 * int(np.count_nonzero(tok_counts))
         return header + 96 + payload + table
     payload = shannon_bits(counts)

@@ -66,6 +66,38 @@ def tokenize_runs(
     return tokens, extra_values, extra_widths
 
 
+def run_token_histogram(
+    symbols: np.ndarray, dominant: int, counts: np.ndarray | None = None
+) -> Tuple[np.ndarray, int]:
+    """Token histogram + total extra bits of :func:`tokenize_runs`, without
+    materializing the token stream.
+
+    Literal tokens are exactly the non-dominant symbols (one per
+    occurrence), so their histogram is the symbol histogram with the
+    dominant bin zeroed; run tokens contribute one count per dominant run
+    at class ``floor(log2(len))``.  Returns ``(freqs, extra_bits)`` where
+    ``freqs`` lists literal counts (ascending symbol) followed by run-class
+    counts (ascending class) — the same positive-entry sequence
+    ``np.bincount(tokens)`` would produce, which is what makes the Shannon
+    estimator over it bit-for-bit identical to scoring real tokens.
+    """
+    symbols = np.ascontiguousarray(symbols, dtype=np.int64)
+    if counts is None:
+        counts = np.bincount(symbols) if symbols.size else np.zeros(1, np.int64)
+    literals = counts.copy()
+    if dominant < literals.size:
+        literals[dominant] = 0
+    if symbols.size == 0:
+        return literals, 0
+    vals, lens = _run_lengths(symbols)
+    dom_lens = lens[vals == dominant]
+    if dom_lens.size == 0:
+        return literals, 0
+    k = _floor_log2(dom_lens)
+    run_hist = np.bincount(k)
+    return np.concatenate([literals, run_hist]), int(k.sum())
+
+
 def detokenize_runs(
     tokens: np.ndarray,
     extra_values: np.ndarray,

@@ -11,6 +11,13 @@ The same fan-out applies *within* one field once it is tiled by
 one shared absolute bound (:func:`compress_chunks_parallel`).  Chunk jobs
 are typically smaller and more numerous than field jobs, so they are
 batched onto workers with a map chunksize to amortize IPC.
+
+Chunk jobs optionally carry a :class:`~repro.core.plan_cache.FrozenPlan`
+derived once from the full field: workers then run only the execution
+half of the codec (no per-chunk sampling / selection / tuning), which is
+where chunked QoZ compression used to burn most of its time.  The plan
+pickles in a few hundred bytes, so broadcasting it is free next to the
+chunk payloads themselves.
 """
 
 from __future__ import annotations
@@ -26,9 +33,21 @@ from repro.compressors.base import decompress_any, get_compressor
 
 
 def _compress_one(args) -> bytes:
-    name, kwargs, field, eb_kwargs = args
+    name, kwargs, field, eb_kwargs, plan = args
     codec = get_compressor(name, **kwargs)
+    if plan is not None:
+        return codec.compress_with_plan(field, plan, **eb_kwargs)
     return codec.compress(field, **eb_kwargs)
+
+
+def _check_plan(plan, codec_name: str) -> None:
+    """Fail fast (in the caller, not a pool worker) on a plan the target
+    codec cannot execute."""
+    if plan is not None and getattr(plan, "codec", None) != codec_name:
+        raise ValueError(
+            f"plan was derived by codec {getattr(plan, 'codec', None)!r} "
+            f"and cannot drive {codec_name!r} workers"
+        )
 
 
 def _decompress_one(blob: bytes) -> np.ndarray:
@@ -54,7 +73,7 @@ def compress_fields_parallel(
         eb_kwargs["error_bound"] = error_bound
     if rel_error_bound is not None:
         eb_kwargs["rel_error_bound"] = rel_error_bound
-    jobs = [(codec_name, codec_kwargs, f, eb_kwargs) for f in fields]
+    jobs = [(codec_name, codec_kwargs, f, eb_kwargs, None) for f in fields]
     if processes == 1 or len(jobs) <= 1:
         return [_compress_one(j) for j in jobs]
     with ProcessPoolExecutor(max_workers=processes) as pool:
@@ -67,6 +86,7 @@ def compress_chunks_parallel(
     codec_kwargs: Optional[Dict] = None,
     error_bound: Optional[float] = None,
     processes: Optional[int] = None,
+    plan=None,
 ) -> List[bytes]:
     """Compress the chunks of ONE field with a process-pool fan-out.
 
@@ -75,12 +95,16 @@ def compress_chunks_parallel(
     bound against the full field first, otherwise each chunk would scale
     the bound by its local value range and the container would not match
     the unchunked stream's guarantee.  Results keep input order.
+
+    ``plan`` (a :class:`~repro.core.plan_cache.FrozenPlan`) makes every
+    worker execute the shared plan instead of re-deriving one per chunk.
     """
     if error_bound is None:
         raise ValueError("compress_chunks_parallel needs an absolute error_bound")
+    _check_plan(plan, codec_name)
     codec_kwargs = codec_kwargs or {}
     jobs = [
-        (codec_name, codec_kwargs, c, {"error_bound": error_bound})
+        (codec_name, codec_kwargs, c, {"error_bound": error_bound}, plan)
         for c in chunks
     ]
     if processes == 1 or len(jobs) <= 1:
@@ -98,6 +122,7 @@ def compress_chunks_streaming(
     error_bound: Optional[float] = None,
     processes: Optional[int] = None,
     window: Optional[int] = None,
+    plan=None,
 ):
     """Yield ``(index, blob)`` for a stream of chunk jobs, in submit order.
 
@@ -105,16 +130,21 @@ def compress_chunks_streaming(
     startup), and at most ``window`` jobs (default ``4 * workers``) are
     in flight at a time — so peak memory is bounded by the window, not
     the field, even when ``chunks`` lazily slices a memory-mapped array.
-    Same absolute-bound contract as :func:`compress_chunks_parallel`.
+    Same absolute-bound contract (and same optional shared ``plan``) as
+    :func:`compress_chunks_parallel`.
     """
     if error_bound is None:
         raise ValueError("compress_chunks_streaming needs an absolute error_bound")
+    _check_plan(plan, codec_name)
     codec_kwargs = codec_kwargs or {}
     win = window or 4 * max(1, processes or os.cpu_count() or 1)
     with ProcessPoolExecutor(max_workers=processes) as pool:
         pending: Deque = deque()
         for index, array in chunks:
-            job = (codec_name, codec_kwargs, array, {"error_bound": error_bound})
+            job = (
+                codec_name, codec_kwargs, array,
+                {"error_bound": error_bound}, plan,
+            )
             pending.append((index, pool.submit(_compress_one, job)))
             if len(pending) >= win:
                 i, fut = pending.popleft()

@@ -44,14 +44,26 @@ def quantize_block(
     values = np.asarray(values, dtype=np.float64)
     preds = np.asarray(preds, dtype=np.float64)
     inv = 1.0 / (2.0 * eb)
-    q = np.rint((values - preds) * inv)
-    in_range = np.abs(q) < radius
-    recon = preds + (2.0 * eb) * q
-    delivered = recon.astype(cast_dtype).astype(np.float64)
-    ok = in_range & (np.abs(values - delivered) <= eb)
-    codes = np.where(ok, q.astype(np.int64) + radius, OUTLIER_CODE)
-    recon = np.where(ok, recon, values)
-    outliers = values[~ok]
+    q = values - preds
+    np.multiply(q, inv, out=q)
+    np.rint(q, out=q)
+    recon = np.multiply(q, 2.0 * eb)
+    recon += preds
+    if np.dtype(cast_dtype) == np.float64:
+        delivered = recon  # already what the user receives; no cast round-trip
+    else:
+        delivered = recon.astype(cast_dtype).astype(np.float64)
+    err = values - delivered
+    np.abs(err, out=err)
+    ok = err <= eb
+    np.abs(q, out=err)  # reuse the scratch for |q|
+    ok &= err < radius
+    codes = q.astype(np.int64)
+    codes += radius
+    bad = ~ok
+    codes[bad] = OUTLIER_CODE
+    outliers = values[bad]
+    recon[bad] = outliers
     return codes, recon, outliers
 
 

@@ -17,6 +17,21 @@ def validate_input(data: np.ndarray, name: str = "data") -> np.ndarray:
     """
     if not isinstance(data, np.ndarray):
         raise CompressionError(f"{name} must be a numpy ndarray, got {type(data)!r}")
+    data = validate_field_lazy(data, name)
+    if not np.all(np.isfinite(data)):
+        raise CompressionError(f"{name} contains non-finite values")
+    return np.ascontiguousarray(data)
+
+
+def validate_field_lazy(data, name: str = "data") -> np.ndarray:
+    """Shape/dtype validation that neither copies nor scans the values.
+
+    The out-of-core entry points (chunked compression, plan derivation)
+    use this instead of :func:`validate_input`: a memory-mapped field must
+    not be materialized, and finiteness is checked by whoever actually
+    reads the values (chunk-wise or block-wise).
+    """
+    data = np.asanyarray(data)
     if data.dtype not in SUPPORTED_DTYPES:
         raise CompressionError(
             f"{name} must be float32 or float64, got dtype {data.dtype}"
@@ -25,9 +40,7 @@ def validate_input(data: np.ndarray, name: str = "data") -> np.ndarray:
         raise CompressionError(f"{name} must be non-empty")
     if data.ndim < 1 or data.ndim > 4:
         raise CompressionError(f"{name} must have 1..4 dimensions, got {data.ndim}")
-    if not np.all(np.isfinite(data)):
-        raise CompressionError(f"{name} contains non-finite values")
-    return np.ascontiguousarray(data)
+    return data
 
 
 def validate_error_bound(eb: float) -> float:
@@ -47,12 +60,15 @@ def resolve_error_bound(
     data: np.ndarray,
     error_bound: float | None,
     rel_error_bound: float | None,
+    data_range: float | None = None,
 ) -> float:
     """Turn (absolute | value-range-relative) bound into an absolute bound.
 
     Exactly one of the two must be given.  A relative bound on a constant
     field (vrange == 0) falls back to a tiny absolute bound so compression
-    still succeeds (and is lossless in effect).
+    still succeeds (and is lossless in effect).  Callers that already know
+    the field's value range (e.g. from a streaming chunk scan) pass it as
+    ``data_range`` so ``data`` is not re-scanned.
     """
     if (error_bound is None) == (rel_error_bound is None):
         raise CompressionError(
@@ -61,7 +77,7 @@ def resolve_error_bound(
     if error_bound is not None:
         return validate_error_bound(error_bound)
     rel = validate_error_bound(rel_error_bound)
-    vr = value_range(data)
+    vr = value_range(data) if data_range is None else data_range
     if vr == 0.0:
         # constant field: any positive bound works; keep it tiny
         scale = abs(float(data.flat[0])) or 1.0

@@ -1,0 +1,154 @@
+"""Frozen-plan derivation/execution split (`repro.core.plan_cache`).
+
+The contract has three legs: (1) a plan derived from a field and executed
+on the same field is byte-identical to inline compression (derivation is
+deterministic, execution is the same code path); (2) a plan derived from
+the *full* field and applied chunk-wise still honors the strict error
+bound on every chunk — the quantizer enforces the bound at execution
+time, sharing a plan only trades compression ratio; (3) plans are small,
+picklable, and survive the process-pool broadcast.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.chunked import ChunkedFile, compress_chunked
+from repro.chunked.tiling import grid_for
+from repro.core.plan_cache import FrozenPlan, execute_frozen_plan
+from repro.core.qoz import QoZ
+from repro.compressors.sz3 import SZ3
+from repro.errors import CompressionError, ConfigurationError
+
+
+def smooth3d(shape=(48, 48, 48), seed=0):
+    rng = np.random.default_rng(seed)
+    x = np.cumsum(rng.standard_normal(shape), axis=0)
+    x += np.cumsum(rng.standard_normal(shape), axis=1)
+    return x / np.abs(x).max()
+
+
+class TestPlanByteIdentity:
+    @pytest.mark.parametrize("metric", ["cr", "psnr"])
+    def test_qoz_plan_reuse_is_byte_identical(self, metric):
+        data = smooth3d(seed=1)
+        codec = QoZ(metric=metric)
+        inline = codec.compress(data, rel_error_bound=1e-3)
+        plan = codec.derive_plan(data, rel_error_bound=1e-3)
+        replay = codec.compress_with_plan(data, plan)
+        assert replay == inline
+
+    def test_sz3_plan_reuse_is_byte_identical(self):
+        data = smooth3d(seed=2)
+        codec = SZ3()
+        inline = codec.compress(data, error_bound=1e-3)
+        plan = codec.derive_plan(data, error_bound=1e-3)
+        assert codec.compress_with_plan(data, plan) == inline
+
+    def test_inline_report_exposes_the_reusable_plan(self):
+        data = smooth3d(seed=3)
+        codec = QoZ(metric="cr")
+        inline = codec.compress(data, error_bound=1e-3)
+        plan = codec.last_report.plan
+        assert isinstance(plan, FrozenPlan)
+        assert codec.compress_with_plan(data, plan) == inline
+        assert codec.last_report.from_plan is True
+
+    def test_plan_streams_decode_without_the_plan(self):
+        data = smooth3d(seed=4)
+        codec = QoZ(metric="cr")
+        plan = codec.derive_plan(data, error_bound=1e-3)
+        blob = codec.compress_with_plan(data, plan)
+        recon = QoZ().decompress(blob)
+        assert np.abs(recon - data).max() <= 1e-3
+
+
+class TestChunkWiseReuse:
+    def test_full_field_plan_holds_bound_on_every_chunk(self):
+        data = smooth3d((64, 64, 64), seed=5)
+        eb = 1e-3
+        codec = QoZ(metric="cr")
+        plan = codec.derive_plan(data, error_bound=eb)
+        grid = grid_for(data.shape, 32)
+        for i in grid:
+            chunk = np.ascontiguousarray(data[grid.chunk_slices(i)])
+            blob = codec.compress_with_plan(chunk, plan, error_bound=eb)
+            recon = QoZ().decompress(blob)
+            violations = np.abs(recon - chunk) > eb
+            assert int(violations.sum()) == 0
+
+    def test_chunked_container_shared_vs_per_chunk_same_bound(self):
+        data = smooth3d((48, 48, 48), seed=6).astype(np.float32)
+        eb = 1e-3
+        shared = compress_chunked(data, codec="qoz", chunks=24, error_bound=eb)
+        tuned = compress_chunked(
+            data, codec="qoz", chunks=24, error_bound=eb, per_chunk_tuning=True
+        )
+        for blob in (shared, tuned):
+            with ChunkedFile(blob) as f:
+                out = f.to_array()
+            assert np.abs(out.astype(np.float64) - data).max() <= eb
+
+    def test_shared_plan_amortizes_tuning_work(self):
+        """The shared-plan path must not re-derive per chunk (the point of
+        the split); spy on derive_plan to count invocations."""
+        data = smooth3d((48, 48, 48), seed=7)
+        calls = {"n": 0}
+        orig = QoZ.derive_plan
+
+        def counting(self, *a, **k):
+            calls["n"] += 1
+            return orig(self, *a, **k)
+
+        QoZ.derive_plan = counting
+        try:
+            compress_chunked(data, codec="qoz", chunks=24, error_bound=1e-3)
+        finally:
+            QoZ.derive_plan = orig
+        assert calls["n"] == 1
+
+
+class TestFrozenPlanObject:
+    def test_plan_pickles_small(self):
+        data = smooth3d(seed=8)
+        plan = QoZ(metric="cr").derive_plan(data, rel_error_bound=1e-3)
+        blob = pickle.dumps(plan)
+        assert len(blob) < 4096
+        assert pickle.loads(blob) == plan
+
+    def test_codec_mismatch_rejected(self):
+        data = smooth3d(seed=9)
+        plan = QoZ().derive_plan(data, error_bound=1e-3)
+        with pytest.raises(CompressionError):
+            SZ3().compress_with_plan(data, plan)
+
+    def test_derive_plan_needs_exactly_one_bound(self):
+        # same exception type as Compressor.compress for the same misuse
+        data = smooth3d(seed=10)
+        with pytest.raises(CompressionError):
+            QoZ().derive_plan(data)
+        with pytest.raises(CompressionError):
+            QoZ().derive_plan(data, error_bound=1e-3, rel_error_bound=1e-3)
+
+    def test_empty_plan_cannot_execute(self):
+        plan = FrozenPlan(codec="qoz", eb=1e-3)
+        with pytest.raises(ConfigurationError):
+            execute_frozen_plan(np.zeros((8, 8)), plan, 1e-3)
+
+    def test_plan_applies_at_a_different_bound(self):
+        data = smooth3d(seed=11)
+        codec = QoZ(metric="cr")
+        plan = codec.derive_plan(data, error_bound=1e-3)
+        blob = codec.compress_with_plan(data, plan, error_bound=5e-4)
+        recon = QoZ().decompress(blob)
+        assert np.abs(recon - data).max() <= 5e-4
+
+    def test_derive_plan_on_memmap_input(self, tmp_path):
+        data = smooth3d((48, 48, 48), seed=12)
+        path = tmp_path / "field.npy"
+        np.save(path, data)
+        mm = np.load(path, mmap_mode="r")
+        plan = QoZ(metric="cr").derive_plan(mm, rel_error_bound=1e-3)
+        ref = QoZ(metric="cr").derive_plan(data, rel_error_bound=1e-3)
+        assert plan == ref

@@ -80,6 +80,27 @@ class TestEstimate:
     def test_estimate_empty(self):
         assert estimate_stream_bits(np.zeros(0, dtype=np.int64)) == 0.0
 
+    def test_histogram_estimator_matches_materialized_tokens(self, rng):
+        """The repeat-free estimator must score the *identical* histogram
+        the tokenizer would produce — QoZ tuning decisions (and therefore
+        output bytes) hinge on bit-for-bit equal trial scores."""
+        from repro.encoding.codec import shannon_bits
+        from repro.encoding.rle import run_token_histogram, tokenize_runs
+
+        for dominance in (0.3, 0.8, 0.99):
+            syms = rng.integers(0, 40, size=50000).astype(np.int64)
+            syms[rng.random(50000) < dominance] = 7
+            alphabet = int(syms.max()) + 1
+            tokens, _vals, widths = tokenize_runs(syms, 7, alphabet)
+            freqs, extra_bits = run_token_histogram(syms, 7)
+            tok_counts = np.bincount(tokens)
+            assert extra_bits == int(widths.astype(np.int64).sum())
+            assert int(np.count_nonzero(freqs)) == int(
+                np.count_nonzero(tok_counts)
+            )
+            # same positive-entry sequence => identical Shannon float
+            assert shannon_bits(freqs) == shannon_bits(tok_counts)
+
 
 @settings(max_examples=50, deadline=None)
 @given(
