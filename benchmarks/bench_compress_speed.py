@@ -130,6 +130,28 @@ def format_results(results):
     return "\n".join(lines)
 
 
+def format_markdown(results):
+    """GitHub-flavored summary table (written to $GITHUB_STEP_SUMMARY)."""
+    lines = [
+        "### compress-smoke — machine-normalized throughput",
+        "",
+        f"gather calibration: {results['calibration_melem_s']} Melem/s",
+        "",
+        "| stream | MB/s | normalized |",
+        "| --- | ---: | ---: |",
+    ]
+    for name, r in results["streams"].items():
+        lines.append(
+            f"| {name} | {r['mb_per_s']:.2f} | {r['normalized']:.4f} |"
+        )
+    lines.append("")
+    lines.append(
+        "shared-plan chunked speedup over per-chunk tuning: "
+        f"**{results['shared_plan_speedup']:.2f}x**"
+    )
+    return "\n".join(lines) + "\n\n"
+
+
 def check_against(results, baseline_path):
     """Return a list of regression messages (empty = pass)."""
     baseline = json.loads(pathlib.Path(baseline_path).read_text())
@@ -163,9 +185,14 @@ def main(argv=None):
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--check", metavar="BASELINE", help="fail on >2x regression")
     ap.add_argument("--write", metavar="PATH", help="write results JSON")
+    ap.add_argument("--summary", metavar="PATH",
+                    help="append a markdown table (e.g. $GITHUB_STEP_SUMMARY)")
     args = ap.parse_args(argv)
     results = run_benchmark()
     print(format_results(results))
+    if args.summary:
+        with open(args.summary, "a") as fh:
+            fh.write(format_markdown(results))
     if args.write:
         existing = {}
         p = pathlib.Path(args.write)

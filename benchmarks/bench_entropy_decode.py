@@ -114,6 +114,26 @@ def format_results(results):
     return "\n".join(lines)
 
 
+def format_markdown(results):
+    """GitHub-flavored summary table (written to $GITHUB_STEP_SUMMARY)."""
+    lines = [
+        "### entropy-decode-smoke — machine-normalized throughput",
+        "",
+        f"gather calibration: {results['calibration_melem_s']} Melem/s",
+        "",
+        "| stream | rate | normalized |",
+        "| --- | ---: | ---: |",
+    ]
+    for name, r in results["streams"].items():
+        rate = (
+            f"{r['msym_per_s']:.2f} Msym/s"
+            if "msym_per_s" in r
+            else f"{r['mb_per_s']:.1f} MB/s"
+        )
+        lines.append(f"| {name} | {rate} | {r['normalized']:.4f} |")
+    return "\n".join(lines) + "\n\n"
+
+
 def check_against(results, baseline_path):
     """Return a list of regression messages (empty = pass)."""
     baseline = json.loads(pathlib.Path(baseline_path).read_text())
@@ -137,9 +157,14 @@ def main(argv=None):
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--check", metavar="BASELINE", help="fail on >2x regression")
     ap.add_argument("--write", metavar="PATH", help="write results JSON")
+    ap.add_argument("--summary", metavar="PATH",
+                    help="append a markdown table (e.g. $GITHUB_STEP_SUMMARY)")
     args = ap.parse_args(argv)
     results = run_benchmark()
     print(format_results(results))
+    if args.summary:
+        with open(args.summary, "a") as fh:
+            fh.write(format_markdown(results))
     if args.write:
         existing = {}
         p = pathlib.Path(args.write)

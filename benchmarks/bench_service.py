@@ -1,0 +1,105 @@
+"""Service-layer latency: cold derive vs warm plan-cache hit.
+
+Measures what the service exists to amortize — the per-request cost of
+QoZ's sampling/selection/tuning.  One in-process client issues repeated
+compress requests for the same field family: the first request derives
+the plan (cold), the rest hit the LRU (warm).  Also times a hyperslab
+read served from a container.  Informational (no committed baseline /
+CI gate — the compress-smoke gate already pins execution throughput;
+this reports the *ratio*, which is machine-independent)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--write PATH]
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from repro.service import ServiceClient, ServiceConfig
+
+SHAPE = (96, 96, 96)
+CHUNK = 32
+WARM_ROUNDS = 5
+
+
+def make_field():
+    rng = np.random.default_rng(42)
+    x = np.cumsum(rng.standard_normal(SHAPE), axis=0)
+    x += np.cumsum(rng.standard_normal(SHAPE), axis=1)
+    return (x / np.abs(x).max()).astype(np.float32)
+
+
+def run_benchmark():
+    field = make_field()
+    results = {"shape": list(SHAPE), "chunk": CHUNK}
+    with ServiceClient(ServiceConfig(processes=1)) as svc:
+        t0 = time.perf_counter()
+        blob = svc.compress(
+            field, codec="qoz", rel_error_bound=1e-3, chunks=CHUNK
+        )
+        cold = time.perf_counter() - t0
+
+        warm_times = []
+        for _ in range(WARM_ROUNDS):
+            t0 = time.perf_counter()
+            warm_blob = svc.compress(
+                field, codec="qoz", rel_error_bound=1e-3, chunks=CHUNK
+            )
+            warm_times.append(time.perf_counter() - t0)
+        assert warm_blob == blob, "warm request must be byte-identical"
+        warm = min(warm_times)
+
+        slab = (slice(10, 70), slice(None), slice(30, 34))
+        t0 = time.perf_counter()
+        svc.read(blob, slab)
+        read_s = time.perf_counter() - t0
+
+        stats = svc.stats()
+
+    mb = field.nbytes / 1e6
+    results.update(
+        cold_compress_s=round(cold, 4),
+        warm_compress_s=round(warm, 4),
+        warm_speedup=round(cold / warm, 2),
+        cold_mb_per_s=round(mb / cold, 2),
+        warm_mb_per_s=round(mb / warm, 2),
+        hyperslab_read_s=round(read_s, 4),
+        plan_derives=stats["plan_derives"],
+        plan_cache_hits=stats["plan_cache_hits"],
+    )
+    return results
+
+
+def format_results(r):
+    return "\n".join([
+        f"service compress {tuple(r['shape'])} f32, chunks={r['chunk']}:",
+        f"  cold (derive + execute)  {r['cold_compress_s']:.3f}s"
+        f"  ({r['cold_mb_per_s']:.1f} MB/s)",
+        f"  warm (plan-cache hit)    {r['warm_compress_s']:.3f}s"
+        f"  ({r['warm_mb_per_s']:.1f} MB/s)",
+        f"  warm speedup             {r['warm_speedup']:.2f}x"
+        f"  (derives={r['plan_derives']}, hits={r['plan_cache_hits']})",
+        f"  hyperslab read           {r['hyperslab_read_s']:.3f}s",
+    ])
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--write", metavar="PATH", help="write results JSON")
+    args = ap.parse_args(argv)
+    results = run_benchmark()
+    print(format_results(results))
+    if args.write:
+        pathlib.Path(args.write).write_text(
+            json.dumps(results, indent=2) + "\n"
+        )
+        print(f"wrote {args.write}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,4 +1,4 @@
-"""Command-line interface: ``python -m repro {compress,decompress,info}``.
+"""Command-line interface: ``python -m repro {compress,decompress,info,serve}``.
 
 The CLI is the out-of-core entry point to the chunked subsystem
 (:mod:`repro.chunked`): ``compress`` memory-maps ``.npy`` inputs and
@@ -15,6 +15,12 @@ Examples::
     python -m repro info field.rpz --list-chunks
     python -m repro decompress field.rpz recon.npy
     python -m repro decompress field.rpz slab.npy --slab 0:16,:,8:24
+    python -m repro serve --port 9753 --processes 4
+
+``serve`` runs the long-lived async compression service
+(:mod:`repro.service`): compress / decompress / hyperslab-read over a
+binary socket protocol, with cross-request plan caching.  The package
+also installs a ``repro`` console script pointing at this module.
 """
 
 from __future__ import annotations
@@ -186,9 +192,22 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.service import ServiceConfig, run_server
+
+    config = ServiceConfig(
+        processes=args.processes,
+        max_queue=args.max_queue,
+        batch_max=args.batch_max,
+        plan_cache_size=args.plan_cache,
+        serve_root=args.serve_root,
+    )
+    return run_server(host=args.host, port=args.port, config=config)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="python -m repro",
+        prog="repro",
         description="Chunked error-bounded compression of scientific arrays.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
@@ -229,6 +248,31 @@ def build_parser() -> argparse.ArgumentParser:
     i.add_argument("--list-chunks", action="store_true",
                    help="also print the per-chunk index table")
     i.set_defaults(func=_cmd_info)
+
+    s = sub.add_parser(
+        "serve",
+        help="run the long-lived async compression service",
+    )
+    s.add_argument("--host", default="127.0.0.1", help="bind address")
+    s.add_argument("--port", type=int, default=9753,
+                   help="TCP port (0 picks a free port; the actual port is "
+                        "printed once listening)")
+    s.add_argument("--processes", type=int, default=1,
+                   help="process-pool width for chunk jobs (1 = in-process)")
+    s.add_argument("--max-queue", type=int, default=64,
+                   help="admission bound; beyond it requests get "
+                        "retry-after backpressure (default 64)")
+    s.add_argument("--batch-max", type=int, default=8,
+                   help="max queued jobs drained per scheduling cycle "
+                        "(per-codec batching window, default 8)")
+    s.add_argument("--plan-cache", type=int, default=128,
+                   help="LRU capacity of the cross-request FrozenPlan "
+                        "cache (default 128)")
+    s.add_argument("--serve-root", default=None, metavar="DIR",
+                   help="allow path-based hyperslab reads for containers "
+                        "under DIR (default: path reads disabled; "
+                        "clients must send container bytes inline)")
+    s.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -19,7 +19,8 @@ handle fields larger than RAM.
 from __future__ import annotations
 
 import os
-from typing import BinaryIO, Dict, Optional, Sequence, Tuple, Union
+import threading
+from typing import BinaryIO, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -27,12 +28,11 @@ from repro.chunked.container import (
     ChunkedWriter,
     ContainerInfo,
     as_fileobj,
-    read_chunk_bytes,
     read_container_info,
 )
 from repro.chunked.tiling import ChunkGrid, Slab, grid_for
 from repro.compressors.base import codec_name_for_id, decompress_any, get_compressor
-from repro.errors import CompressionError
+from repro.errors import CompressionError, DecompressionError
 from repro.utils import validate_error_bound, validate_field_lazy
 
 PathLike = Union[str, "os.PathLike[str]"]
@@ -84,6 +84,7 @@ def compress_chunked_to_file(
     rel_error_bound: Optional[float] = None,
     processes: Optional[int] = None,
     per_chunk_tuning: bool = False,
+    plan=None,
 ) -> ContainerInfo:
     """Tile ``data``, compress every chunk, stream a container to ``file``.
 
@@ -103,6 +104,11 @@ def compress_chunked_to_file(
     analysis: marginally better per-chunk ratios (each chunk gets its own
     (alpha, beta) and interpolators) at a many-fold compression-time cost.
     The error bound is enforced point-wise by the quantizer either way.
+
+    ``plan`` injects a previously derived
+    :class:`~repro.core.plan_cache.FrozenPlan` (e.g. from the service
+    layer's LRU), skipping derivation here entirely; it must come from
+    the same codec family or the executor rejects it.
     """
     data = validate_field_lazy(data)
     codec_kwargs = codec_kwargs or {}
@@ -110,9 +116,21 @@ def compress_chunked_to_file(
     grid = grid_for(data.shape, chunks)
     eb, vrange = _resolve_eb_streaming(data, grid, error_bound, rel_error_bound)
 
-    plan = None
-    if not per_chunk_tuning and hasattr(codec_inst, "derive_plan"):
+    if per_chunk_tuning:
+        if plan is not None:
+            raise CompressionError(
+                "plan= and per_chunk_tuning=True are contradictory: an "
+                "injected plan exists to skip per-chunk analysis"
+            )
+    elif plan is None and hasattr(codec_inst, "derive_plan"):
         plan = codec_inst.derive_plan(data, error_bound=eb, data_range=vrange)
+    elif plan is not None and not hasattr(codec_inst, "compress_with_plan"):
+        # same fail-fast the parallel path gets from _check_plan, instead
+        # of an AttributeError deep in the chunk loop
+        raise CompressionError(
+            f"codec {codec!r} does not support plan execution; "
+            "omit plan= or use a plan-capable codec (qoz, sz3)"
+        )
 
     def compress_one(chunk: np.ndarray) -> bytes:
         if plan is not None:
@@ -159,6 +177,7 @@ def compress_chunked(
     rel_error_bound: Optional[float] = None,
     processes: Optional[int] = None,
     per_chunk_tuning: bool = False,
+    plan=None,
 ) -> bytes:
     """In-memory variant of :func:`compress_chunked_to_file`."""
     import io
@@ -174,6 +193,7 @@ def compress_chunked(
         rel_error_bound=rel_error_bound,
         processes=processes,
         per_chunk_tuning=per_chunk_tuning,
+        plan=plan,
     )
     return buf.getvalue()
 
@@ -183,6 +203,14 @@ class ChunkedFile:
 
     Parsing touches only the header and the chunk index; chunk payloads
     are read lazily, one byte range per chunk.
+
+    Reads are safe from multiple threads sharing one instance: payload
+    reads go through positioned I/O (``os.pread``, which never moves a
+    shared file offset) when the source is a real file, and through a
+    seek lock otherwise.  Decoding itself is pure numpy on local buffers,
+    so concurrent ``chunk`` / ``read`` calls never interleave state —
+    the service layer decodes chunks of one container from many worker
+    threads at once.
     """
 
     def __init__(self, source: Union[bytes, PathLike, BinaryIO]) -> None:
@@ -191,6 +219,13 @@ class ChunkedFile:
             self._own = True
         else:
             self._file, self._own = as_fileobj(source)
+        self._lock = threading.Lock()
+        self._fd: Optional[int] = None
+        if hasattr(os, "pread"):
+            try:
+                self._fd = self._file.fileno()
+            except (AttributeError, OSError, ValueError):
+                self._fd = None
         try:
             self.info: ContainerInfo = read_container_info(self._file)
         except BaseException:
@@ -248,33 +283,83 @@ class ChunkedFile:
         """Region of the full array covered by chunk ``index``."""
         return self.info.entries[index].slices
 
+    def _read_at(self, offset: int, nbytes: int) -> bytes:
+        """Positioned read that never races another thread's read.
+
+        ``os.pread`` carries its own offset, so concurrent readers on the
+        same fd cannot corrupt each other; sources without a real fd
+        (``BytesIO``) fall back to seek+read under the instance lock.
+        Short reads are looped (Linux caps one ``pread`` at ~2 GiB), so a
+        partial return only ever means true EOF.
+        """
+        if self._fd is not None:
+            parts = []
+            remaining = nbytes
+            while remaining:
+                part = os.pread(self._fd, remaining, offset)
+                if not part:
+                    break
+                parts.append(part)
+                offset += len(part)
+                remaining -= len(part)
+            return parts[0] if len(parts) == 1 else b"".join(parts)
+        with self._lock:
+            self._file.seek(offset)
+            return self._file.read(nbytes)
+
     def chunk_bytes(self, index: int) -> bytes:
         """Compressed stream of one chunk (reads only its byte range)."""
-        return read_chunk_bytes(self._file, self.info, index)
+        entry = self.info.entries[index]
+        blob = self._read_at(self.info.data_start + entry.offset, entry.nbytes)
+        if len(blob) != entry.nbytes:
+            raise DecompressionError(
+                f"chunk {index} truncated: expected {entry.nbytes} bytes, "
+                f"got {len(blob)}"
+            )
+        return blob
 
     def chunk(self, index: int) -> np.ndarray:
         """Decode one chunk."""
         return decompress_any(self.chunk_bytes(index))
 
     # ----------------------------------------------------------- hyperslabs
-    def read(self, slab: Slab) -> np.ndarray:
-        """Extract an arbitrary hyperslab, decoding only intersecting chunks."""
+    def slab_plan(
+        self, slab: Slab
+    ) -> Tuple[
+        Tuple[slice, ...],
+        List[Tuple[int, Tuple[slice, ...], Tuple[slice, ...]]],
+    ]:
+        """Decode plan for a hyperslab: which chunks, and where they land.
+
+        Returns ``(normalized_slab, parts)`` where each part is
+        ``(chunk_index, src_slices, dst_slices)`` — the intersection of
+        the chunk's region with the slab, in chunk-local and slab-local
+        frames.  :meth:`read` executes this plan serially; the service
+        layer executes the same plan with concurrent chunk decodes, so
+        both paths assemble bit-identical outputs by construction.
+        """
         grid = self.grid
         slab = grid.normalize_slab(slab)
-        out = np.empty(
-            tuple(s.stop - s.start for s in slab), dtype=self.dtype
-        )
+        parts = []
         for i in grid.chunks_for_slab(slab):
             entry = self.info.entries[i]
-            chunk = self.chunk(i)
-            # intersection of chunk region and slab, in both frames
             src, dst = [], []
             for cs, ce, sl in zip(entry.start, entry.shape, slab):
                 lo = max(cs, sl.start)
                 hi = min(cs + ce, sl.stop)
                 src.append(slice(lo - cs, hi - cs))
                 dst.append(slice(lo - sl.start, hi - sl.start))
-            out[tuple(dst)] = chunk[tuple(src)]
+            parts.append((i, tuple(src), tuple(dst)))
+        return slab, parts
+
+    def read(self, slab: Slab) -> np.ndarray:
+        """Extract an arbitrary hyperslab, decoding only intersecting chunks."""
+        slab, parts = self.slab_plan(slab)
+        out = np.empty(
+            tuple(s.stop - s.start for s in slab), dtype=self.dtype
+        )
+        for i, src, dst in parts:
+            out[dst] = self.chunk(i)[src]
         return out
 
     def to_array(self) -> np.ndarray:

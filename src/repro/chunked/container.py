@@ -177,21 +177,6 @@ def read_container_info(fileobj: BinaryIO, base: int = 0) -> ContainerInfo:
     )
 
 
-def read_chunk_bytes(
-    fileobj: BinaryIO, info: ContainerInfo, index: int
-) -> bytes:
-    """Read exactly one chunk's compressed stream (a seek + one read)."""
-    entry = info.entries[index]
-    fileobj.seek(info.data_start + entry.offset)
-    blob = fileobj.read(entry.nbytes)
-    if len(blob) != entry.nbytes:
-        raise DecompressionError(
-            f"chunk {index} truncated: expected {entry.nbytes} bytes, "
-            f"got {len(blob)}"
-        )
-    return blob
-
-
 def as_fileobj(source: Union[bytes, bytearray, memoryview, BinaryIO]):
     """Wrap bytes in a BytesIO; pass file objects through.
 

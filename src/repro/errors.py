@@ -15,3 +15,30 @@ class CompressionError(ReproError):
 
 class DecompressionError(ReproError):
     """Raised when a compressed stream is malformed or truncated."""
+
+
+class ProtocolError(ReproError):
+    """Raised when a service protocol frame is malformed or oversized."""
+
+
+class ServiceOverloadedError(ReproError):
+    """Raised when the service queue is full (backpressure).
+
+    ``retry_after`` is the server's suggested delay in seconds before the
+    client retries; the wire protocol carries it in the RETRY response.
+    """
+
+    def __init__(self, retry_after: float = 0.05) -> None:
+        super().__init__(
+            f"service queue is full; retry after {retry_after:.3g}s"
+        )
+        self.retry_after = float(retry_after)
+
+
+class RemoteServiceError(ReproError):
+    """An error reported by a remote compression service.
+
+    The server maps any request-handling exception to an ERROR response
+    carrying one message line; the client re-raises it as this type (the
+    original class does not survive the wire).
+    """

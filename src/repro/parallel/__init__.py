@@ -11,6 +11,7 @@ for the per-node parallelism we can actually exercise here.
 
 from repro.parallel.iomodel import IOSystemModel, dump_load_series
 from repro.parallel.executor import (
+    ChunkWorkPool,
     compress_chunks_parallel,
     compress_chunks_streaming,
     compress_fields_parallel,
@@ -18,6 +19,7 @@ from repro.parallel.executor import (
 )
 
 __all__ = [
+    "ChunkWorkPool",
     "IOSystemModel",
     "dump_load_series",
     "compress_chunks_parallel",

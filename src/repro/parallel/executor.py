@@ -162,3 +162,61 @@ def decompress_blobs_parallel(
         return [_decompress_one(b) for b in blobs]
     with ProcessPoolExecutor(max_workers=processes) as pool:
         return list(pool.map(_decompress_one, blobs))
+
+
+class ChunkWorkPool:
+    """Long-lived process pool for service-style chunk workloads.
+
+    The batch helpers above spin a pool up per call, which is the right
+    shape for a CLI run but exactly wrong for a long-lived server: fork
+    cost per request would swamp small jobs.  This wrapper keeps ONE
+    ``ProcessPoolExecutor`` alive across requests (spawned lazily on the
+    first submit, so constructing a service with ``processes <= 1`` never
+    forks at all) and exposes submit-level access, which is what an
+    asyncio scheduler needs — ``concurrent.futures`` futures it can wrap
+    with ``asyncio.wrap_future`` and interleave across requests.
+
+    Chunk jobs reuse the exact module-level worker functions of the batch
+    paths (:func:`_compress_one`, :func:`_decompress_one`), so a stream
+    compressed through the pool is byte-identical to one compressed by
+    :func:`compress_chunks_parallel` or inline.
+    """
+
+    def __init__(self, processes: Optional[int] = None) -> None:
+        self.processes = processes
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    @property
+    def parallel(self) -> bool:
+        """Whether submits actually fan out to worker processes."""
+        return self.processes is not None and self.processes > 1
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.processes)
+        return self._pool
+
+    def submit_compress(
+        self,
+        codec_name: str,
+        codec_kwargs: Optional[Dict],
+        chunk: np.ndarray,
+        error_bound: float,
+        plan=None,
+    ):
+        """Submit one chunk compression; returns a concurrent future."""
+        _check_plan(plan, codec_name)
+        job = (
+            codec_name, codec_kwargs or {}, chunk,
+            {"error_bound": error_bound}, plan,
+        )
+        return self._ensure_pool().submit(_compress_one, job)
+
+    def submit_decompress(self, blob: bytes):
+        """Submit one stream decode; returns a concurrent future."""
+        return self._ensure_pool().submit(_decompress_one, blob)
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None

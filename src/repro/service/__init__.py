@@ -1,0 +1,46 @@
+"""Long-lived async compression service (serve, don't re-tune).
+
+The library and CLI paths pay QoZ's derivation cost — sampling,
+interpolator selection, (alpha, beta) tuning — on every call.  A service
+holding state across requests can amortize it: this package wraps the
+existing chunked subsystem and process-pool executor in an asyncio front
+end with a bounded scheduler, per-codec batching, backpressure, and an
+LRU of :class:`~repro.core.plan_cache.FrozenPlan` objects keyed by
+(codec config, bound request, field signature), so warm traffic on a
+field family executes plans instead of deriving them.  See DESIGN.md §9.
+
+Quickstart::
+
+    # server
+    #   $ repro serve --port 9753 --processes 4
+    # client
+    from repro.service import RemoteClient
+
+    with RemoteClient(port=9753) as svc:
+        blob = svc.compress(field, codec="qoz", rel_error_bound=1e-3)
+        sub = svc.read(blob, (slice(0, 16), slice(None), slice(8, 24)))
+
+    # or fully in-process (tests, embedding):
+    from repro.service import ServiceClient
+
+    with ServiceClient() as svc:
+        blob = svc.compress(field, codec="qoz", rel_error_bound=1e-3)
+
+Served bytes are identical to :func:`repro.chunked.compress_chunked`
+output — the scheduler runs the same derivation, the same chunk
+execution, and the same container writer, just asynchronously and with
+the derivation half cached.
+"""
+
+from repro.service.client import RemoteClient, ServiceClient
+from repro.service.scheduler import CompressionService, ServiceConfig
+from repro.service.server import ServiceServer, run_server
+
+__all__ = [
+    "CompressionService",
+    "RemoteClient",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceServer",
+    "run_server",
+]

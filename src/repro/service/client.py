@@ -1,0 +1,215 @@
+"""Clients for the compression service.
+
+Two clients, one surface:
+
+* :class:`ServiceClient` is *in-process*: it runs a private event loop on
+  a daemon thread, hosts its own
+  :class:`~repro.service.scheduler.CompressionService`, and hands request
+  dataclasses straight to the scheduler — no sockets, no serialization.
+  It exercises the full admission/batching/plan-cache machinery, which is
+  exactly what the unit tests want (and what an application embedding the
+  service as a library gets).
+* :class:`RemoteClient` speaks the length-prefixed binary protocol over a
+  plain blocking TCP socket to a ``repro serve`` process.  RETRY
+  responses (backpressure) raise :class:`ServiceOverloadedError` by
+  default; ``retries > 0`` opts into honoring the server's
+  ``retry_after`` hint with a bounded retry loop.
+
+Both expose ``compress`` / ``decompress`` / ``read`` / ``stats`` /
+``ping`` with the same signatures and are context managers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+import time
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import (
+    ProtocolError,
+    RemoteServiceError,
+    ServiceOverloadedError,
+)
+from repro.service import protocol
+from repro.service.scheduler import CompressionService, ServiceConfig
+
+
+def _compress_request(
+    data: np.ndarray,
+    codec: str,
+    error_bound: Optional[float],
+    rel_error_bound: Optional[float],
+    chunks,
+    codec_kwargs: Optional[Dict],
+    family: Optional[str],
+    per_chunk_tuning: bool,
+) -> protocol.CompressRequest:
+    if chunks is not None and not isinstance(chunks, int):
+        chunks = tuple(chunks)
+    return protocol.CompressRequest(
+        data=np.asarray(data),
+        codec=codec,
+        codec_kwargs=dict(codec_kwargs or {}),
+        error_bound=error_bound,
+        rel_error_bound=rel_error_bound,
+        chunks=chunks,
+        family=family,
+        per_chunk_tuning=per_chunk_tuning,
+    )
+
+
+class ServiceClient:
+    """In-process client: private loop thread + embedded service."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        self.service = CompressionService(config)
+        self._call(self.service.start())
+
+    def _call(self, coro):
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result()
+
+    # ----------------------------------------------------------------- api
+    def ping(self) -> None:
+        self._call(self.service.handle(protocol.PingRequest()))
+
+    def compress(
+        self,
+        data: np.ndarray,
+        codec: str = "qoz",
+        error_bound: Optional[float] = None,
+        rel_error_bound: Optional[float] = None,
+        chunks: Union[int, Sequence[int], None] = None,
+        codec_kwargs: Optional[Dict] = None,
+        family: Optional[str] = None,
+        per_chunk_tuning: bool = False,
+    ) -> bytes:
+        req = _compress_request(
+            data, codec, error_bound, rel_error_bound, chunks,
+            codec_kwargs, family, per_chunk_tuning,
+        )
+        return self._call(self.service.handle(req))
+
+    def decompress(self, blob: bytes) -> np.ndarray:
+        return self._call(
+            self.service.handle(protocol.DecompressRequest(blob=bytes(blob)))
+        )
+
+    def read(self, source: Union[bytes, str], slab) -> np.ndarray:
+        return self._call(
+            self.service.handle(
+                protocol.ReadSlabRequest(source=source, slab=tuple(slab))
+            )
+        )
+
+    def stats(self) -> Dict:
+        return self._call(self.service.handle(protocol.StatsRequest()))
+
+    # ------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        if self._loop.is_closed():
+            return
+        try:
+            self._call(self.service.close())
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10)
+            self._loop.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class RemoteClient:
+    """Blocking socket client for a running ``repro serve`` endpoint."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 9753,
+        timeout: float = 300.0,
+        retries: int = 0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.retries = retries
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+
+    # ----------------------------------------------------------------- rpc
+    def _rpc(self, request: protocol.Request):
+        op = protocol.op_for_request(request)
+        payload = protocol.frame(protocol.encode_request(request))
+        attempts = self.retries + 1
+        for attempt in range(attempts):
+            self._sock.sendall(payload)
+            resp = protocol.decode_response(
+                protocol.read_frame_sync(self._sock), op
+            )
+            if resp.status == protocol.ST_OK:
+                return resp
+            if resp.status == protocol.ST_ERROR:
+                raise RemoteServiceError(resp.message or "remote error")
+            # ST_RETRY: honor the hint if the caller allowed retries
+            if attempt + 1 >= attempts:
+                raise ServiceOverloadedError(resp.retry_after or 0.05)
+            time.sleep(resp.retry_after or 0.05)
+        raise ProtocolError("unreachable")  # pragma: no cover
+
+    # ----------------------------------------------------------------- api
+    def ping(self) -> None:
+        self._rpc(protocol.PingRequest())
+
+    def compress(
+        self,
+        data: np.ndarray,
+        codec: str = "qoz",
+        error_bound: Optional[float] = None,
+        rel_error_bound: Optional[float] = None,
+        chunks: Union[int, Sequence[int], None] = None,
+        codec_kwargs: Optional[Dict] = None,
+        family: Optional[str] = None,
+        per_chunk_tuning: bool = False,
+    ) -> bytes:
+        req = _compress_request(
+            data, codec, error_bound, rel_error_bound, chunks,
+            codec_kwargs, family, per_chunk_tuning,
+        )
+        return self._rpc(req).blob
+
+    def decompress(self, blob: bytes) -> np.ndarray:
+        return self._rpc(protocol.DecompressRequest(blob=bytes(blob))).array
+
+    def read(self, source: Union[bytes, str], slab) -> np.ndarray:
+        return self._rpc(
+            protocol.ReadSlabRequest(source=source, slab=tuple(slab))
+        ).array
+
+    def stats(self) -> Dict:
+        return self._rpc(protocol.StatsRequest()).mapping
+
+    # ------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "RemoteClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+__all__ = ["ServiceClient", "RemoteClient"]

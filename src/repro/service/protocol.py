@@ -1,0 +1,606 @@
+"""Wire protocol of the compression service (length-prefixed binary).
+
+Every message — request or response — is one *frame*::
+
+    u32 little-endian body length | body
+
+The body starts with ``u8 protocol version`` + ``u8 opcode/status`` and
+continues with opcode-specific fields built from four primitives: scalars
+(``struct`` little-endian), short strings (u16 length + UTF-8), payloads
+(u64 length + raw bytes), and typed key/value maps (for codec kwargs and
+stats).  Arrays travel as (dtype string, shape, C-order raw bytes).  The
+format is deliberately stdlib-only — no msgpack/pickle — and versioned,
+so a client/server mismatch fails with a clean :class:`ProtocolError`
+instead of a silent misparse.
+
+Requests decode into the small dataclasses at the bottom; those same
+dataclasses are the in-process API (``ServiceClient`` hands them straight
+to the scheduler without serializing), which keeps the socket path and
+the test path running identical handler code.
+
+Frame bodies are capped (:data:`MAX_FRAME`) so a forged length prefix
+cannot size an allocation beyond the declared limit — the same
+decode-side discipline the codec streams adopted in PR 2.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ProtocolError
+
+PROTOCOL_VERSION = 1
+
+#: hard ceiling on one frame's body (1 GiB) — service requests carry at
+#: most one field plus small metadata; bigger fields belong in the
+#: out-of-core CLI path, not a socket round-trip
+MAX_FRAME = 1 << 30
+
+# request opcodes
+OP_PING = 1
+OP_COMPRESS = 2
+OP_DECOMPRESS = 3
+OP_READ_SLAB = 4
+OP_STATS = 5
+
+# response statuses
+ST_OK = 0
+ST_ERROR = 1
+ST_RETRY = 2
+
+# slab dimension flags
+_SLAB_HAS_START = 1
+_SLAB_HAS_STOP = 2
+
+_KV_TAGS = {int: b"i", float: b"f", bool: b"b", str: b"s"}
+
+
+# --------------------------------------------------------------------------
+# primitives
+# --------------------------------------------------------------------------
+
+class _Writer:
+    def __init__(self) -> None:
+        self._parts: List[bytes] = []
+
+    def u8(self, v: int) -> None:
+        self._parts.append(struct.pack("<B", v))
+
+    def u16(self, v: int) -> None:
+        self._parts.append(struct.pack("<H", v))
+
+    def u32(self, v: int) -> None:
+        self._parts.append(struct.pack("<I", v))
+
+    def u64(self, v: int) -> None:
+        self._parts.append(struct.pack("<Q", v))
+
+    def i64(self, v: int) -> None:
+        self._parts.append(struct.pack("<q", v))
+
+    def f64(self, v: float) -> None:
+        self._parts.append(struct.pack("<d", v))
+
+    def string(self, s: str) -> None:
+        raw = s.encode("utf-8")
+        if len(raw) > 0xFFFF:
+            raise ProtocolError(f"string field too long ({len(raw)} bytes)")
+        self.u16(len(raw))
+        self._parts.append(raw)
+
+    def blob(self, b: bytes) -> None:
+        self.u64(len(b))
+        self._parts.append(bytes(b))
+
+    def kv(self, mapping: Optional[Dict]) -> None:
+        """Typed key/value map (int/float/bool/str values only)."""
+        items = sorted((mapping or {}).items())
+        self.u16(len(items))
+        for key, value in items:
+            tag = _KV_TAGS.get(type(value))
+            if tag is None:
+                raise ProtocolError(
+                    f"kwarg {key!r} has unsupported type {type(value).__name__}"
+                    " (int/float/bool/str only)"
+                )
+            self.string(str(key))
+            self._parts.append(tag)
+            if tag == b"i":
+                self.i64(value)
+            elif tag == b"f":
+                self.f64(value)
+            elif tag == b"b":
+                self.u8(1 if value else 0)
+            else:
+                self.string(value)
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._parts)
+
+
+class _Reader:
+    def __init__(self, buf: bytes) -> None:
+        self._buf = buf
+        self._pos = 0
+
+    def _take(self, n: int) -> bytes:
+        if self._pos + n > len(self._buf):
+            raise ProtocolError("frame truncated mid-field")
+        out = self._buf[self._pos:self._pos + n]
+        self._pos += n
+        return out
+
+    def u8(self) -> int:
+        return self._take(1)[0]
+
+    def u16(self) -> int:
+        return struct.unpack("<H", self._take(2))[0]
+
+    def u32(self) -> int:
+        return struct.unpack("<I", self._take(4))[0]
+
+    def u64(self) -> int:
+        return struct.unpack("<Q", self._take(8))[0]
+
+    def i64(self) -> int:
+        return struct.unpack("<q", self._take(8))[0]
+
+    def f64(self) -> float:
+        return struct.unpack("<d", self._take(8))[0]
+
+    def string(self) -> str:
+        n = self.u16()
+        return self._take(n).decode("utf-8")
+
+    def blob(self) -> bytes:
+        n = self.u64()
+        if n > MAX_FRAME:
+            raise ProtocolError(f"blob length {n} exceeds frame cap")
+        return self._take(n)
+
+    def kv(self) -> Dict:
+        out: Dict = {}
+        for _ in range(self.u16()):
+            key = self.string()
+            tag = self._take(1)
+            if tag == b"i":
+                out[key] = self.i64()
+            elif tag == b"f":
+                out[key] = self.f64()
+            elif tag == b"b":
+                out[key] = bool(self.u8())
+            elif tag == b"s":
+                out[key] = self.string()
+            else:
+                raise ProtocolError(f"unknown kv tag {tag!r}")
+        return out
+
+    def done(self) -> None:
+        if self._pos != len(self._buf):
+            raise ProtocolError(
+                f"{len(self._buf) - self._pos} trailing bytes after message"
+            )
+
+
+def _pack_array(w: _Writer, array: np.ndarray) -> None:
+    array = np.ascontiguousarray(array)
+    w.string(array.dtype.str)
+    w.u8(array.ndim)
+    for dim in array.shape:
+        w.u64(dim)
+    w.blob(array.tobytes())
+
+
+def _unpack_array(r: _Reader) -> np.ndarray:
+    dtype = np.dtype(r.string())
+    ndim = r.u8()
+    shape = tuple(r.u64() for _ in range(ndim))
+    raw = r.blob()
+    expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+    if len(raw) != expected:
+        raise ProtocolError(
+            f"array payload is {len(raw)} bytes but dtype/shape imply {expected}"
+        )
+    # bytearray -> writable array without a second copy on the numpy side
+    return np.frombuffer(bytearray(raw), dtype=dtype).reshape(shape)
+
+
+def _pack_slab(w: _Writer, slab) -> None:
+    w.u8(len(slab))
+    for dim in slab:
+        if dim is None:
+            dim = slice(None)
+        elif isinstance(dim, tuple):
+            dim = slice(dim[0], dim[1])
+        elif not isinstance(dim, slice):
+            raise ProtocolError(f"bad slab dimension {dim!r}")
+        if dim.step not in (None, 1):
+            raise ProtocolError("strided slabs are not supported")
+        flags = 0
+        if dim.start is not None:
+            flags |= _SLAB_HAS_START
+        if dim.stop is not None:
+            flags |= _SLAB_HAS_STOP
+        w.u8(flags)
+        w.i64(dim.start if dim.start is not None else 0)
+        w.i64(dim.stop if dim.stop is not None else 0)
+
+
+def _unpack_slab(r: _Reader) -> Tuple[slice, ...]:
+    out = []
+    for _ in range(r.u8()):
+        flags = r.u8()
+        start = r.i64()
+        stop = r.i64()
+        out.append(
+            slice(
+                start if flags & _SLAB_HAS_START else None,
+                stop if flags & _SLAB_HAS_STOP else None,
+            )
+        )
+    return tuple(out)
+
+
+# --------------------------------------------------------------------------
+# request dataclasses (also the in-process API surface)
+# --------------------------------------------------------------------------
+
+@dataclass
+class PingRequest:
+    pass
+
+
+@dataclass
+class CompressRequest:
+    """Compress one field into a chunked container.
+
+    ``family`` opts the request into cross-field plan sharing (see
+    :func:`repro.core.plan_cache.field_signature`); empty/None keeps the
+    byte-identical content-keyed default.
+    """
+
+    data: np.ndarray
+    codec: str = "qoz"
+    codec_kwargs: Dict = field(default_factory=dict)
+    error_bound: Optional[float] = None
+    rel_error_bound: Optional[float] = None
+    chunks: Union[int, Tuple[int, ...], None] = None
+    family: Optional[str] = None
+    per_chunk_tuning: bool = False
+
+
+@dataclass
+class DecompressRequest:
+    blob: bytes
+
+
+@dataclass
+class ReadSlabRequest:
+    """Hyperslab read from a container: inline bytes or a server-side path."""
+
+    source: Union[bytes, str]
+    slab: Tuple[slice, ...]
+
+
+@dataclass
+class StatsRequest:
+    pass
+
+
+Request = Union[
+    PingRequest, CompressRequest, DecompressRequest, ReadSlabRequest, StatsRequest
+]
+
+
+# --------------------------------------------------------------------------
+# request encode/decode
+# --------------------------------------------------------------------------
+
+def _request_writer(op: int) -> _Writer:
+    w = _Writer()
+    w.u8(PROTOCOL_VERSION)
+    w.u8(op)
+    return w
+
+
+def encode_request(req: Request) -> bytes:
+    if isinstance(req, PingRequest):
+        return _request_writer(OP_PING).getvalue()
+    if isinstance(req, CompressRequest):
+        w = _request_writer(OP_COMPRESS)
+        w.string(req.codec)
+        w.kv(req.codec_kwargs)
+        if (req.error_bound is None) == (req.rel_error_bound is None):
+            raise ProtocolError(
+                "specify exactly one of error_bound= or rel_error_bound="
+            )
+        if req.error_bound is not None:
+            w.u8(0)
+            w.f64(req.error_bound)
+        else:
+            w.u8(1)
+            w.f64(req.rel_error_bound)
+        # scalar (broadcast to every axis) and per-axis tuple are distinct
+        # specs — a (4,) tuple must round-trip as a rank-1 requirement,
+        # not silently become a broadcast 4
+        if req.chunks is None:
+            w.u8(0)
+        elif isinstance(req.chunks, int):
+            w.u8(1)
+            w.u32(req.chunks)
+        else:
+            w.u8(2)
+            w.u8(len(req.chunks))
+            for c in req.chunks:
+                w.u32(c)
+        w.string(req.family or "")
+        w.u8(1 if req.per_chunk_tuning else 0)
+        _pack_array(w, req.data)
+        return w.getvalue()
+    if isinstance(req, DecompressRequest):
+        w = _request_writer(OP_DECOMPRESS)
+        w.blob(req.blob)
+        return w.getvalue()
+    if isinstance(req, ReadSlabRequest):
+        w = _request_writer(OP_READ_SLAB)
+        if isinstance(req.source, (bytes, bytearray, memoryview)):
+            w.u8(0)
+            w.blob(bytes(req.source))
+        else:
+            w.u8(1)
+            w.string(str(req.source))
+        _pack_slab(w, req.slab)
+        return w.getvalue()
+    if isinstance(req, StatsRequest):
+        return _request_writer(OP_STATS).getvalue()
+    raise ProtocolError(f"cannot encode request of type {type(req).__name__}")
+
+
+def decode_request(body: bytes) -> Request:
+    r = _Reader(body)
+    version = r.u8()
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version {version} not supported (this side speaks "
+            f"{PROTOCOL_VERSION})"
+        )
+    op = r.u8()
+    if op == OP_PING:
+        req: Request = PingRequest()
+    elif op == OP_COMPRESS:
+        codec = r.string()
+        kwargs = r.kv()
+        eb_mode = r.u8()
+        bound = r.f64()
+        chunks_kind = r.u8()
+        chunks: Union[int, Tuple[int, ...], None]
+        if chunks_kind == 0:
+            chunks = None
+        elif chunks_kind == 1:
+            chunks = r.u32()
+        elif chunks_kind == 2:
+            chunks = tuple(r.u32() for _ in range(r.u8()))
+        else:
+            raise ProtocolError(f"unknown chunk-spec kind {chunks_kind}")
+        family = r.string() or None
+        per_chunk = bool(r.u8())
+        data = _unpack_array(r)
+        req = CompressRequest(
+            data=data,
+            codec=codec,
+            codec_kwargs=kwargs,
+            error_bound=bound if eb_mode == 0 else None,
+            rel_error_bound=bound if eb_mode == 1 else None,
+            chunks=chunks,
+            family=family,
+            per_chunk_tuning=per_chunk,
+        )
+    elif op == OP_DECOMPRESS:
+        req = DecompressRequest(blob=r.blob())
+    elif op == OP_READ_SLAB:
+        kind = r.u8()
+        source: Union[bytes, str]
+        if kind == 0:
+            source = r.blob()
+        elif kind == 1:
+            source = r.string()
+        else:
+            raise ProtocolError(f"unknown read source kind {kind}")
+        req = ReadSlabRequest(source=source, slab=_unpack_slab(r))
+    elif op == OP_STATS:
+        req = StatsRequest()
+    else:
+        raise ProtocolError(f"unknown request opcode {op}")
+    r.done()
+    return req
+
+
+# --------------------------------------------------------------------------
+# response encode/decode
+# --------------------------------------------------------------------------
+
+def _response_writer(status: int) -> _Writer:
+    w = _Writer()
+    w.u8(PROTOCOL_VERSION)
+    w.u8(status)
+    return w
+
+
+def encode_ok_empty() -> bytes:
+    return _response_writer(ST_OK).getvalue()
+
+
+def encode_ok_bytes(blob: bytes) -> bytes:
+    w = _response_writer(ST_OK)
+    w.blob(blob)
+    return w.getvalue()
+
+
+def encode_ok_array(array: np.ndarray) -> bytes:
+    w = _response_writer(ST_OK)
+    _pack_array(w, array)
+    return w.getvalue()
+
+
+def encode_ok_kv(mapping: Dict) -> bytes:
+    w = _response_writer(ST_OK)
+    w.kv(mapping)
+    return w.getvalue()
+
+
+def encode_error(message: str) -> bytes:
+    w = _response_writer(ST_ERROR)
+    # one line, bounded — tracebacks stay on the server
+    w.string(message.splitlines()[0][:1024] if message else "internal error")
+    return w.getvalue()
+
+
+def encode_retry(retry_after: float) -> bytes:
+    w = _response_writer(ST_RETRY)
+    w.f64(retry_after)
+    return w.getvalue()
+
+
+@dataclass
+class Response:
+    """Decoded response: exactly one payload field is set for ST_OK."""
+
+    status: int
+    blob: Optional[bytes] = None
+    array: Optional[np.ndarray] = None
+    mapping: Optional[Dict] = None
+    message: Optional[str] = None
+    retry_after: Optional[float] = None
+
+
+def decode_response(body: bytes, op: int) -> Response:
+    """Decode a response body; ``op`` is the request opcode it answers."""
+    r = _Reader(body)
+    version = r.u8()
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version {version} not supported (this side speaks "
+            f"{PROTOCOL_VERSION})"
+        )
+    status = r.u8()
+    if status == ST_ERROR:
+        resp = Response(status=status, message=r.string())
+    elif status == ST_RETRY:
+        resp = Response(status=status, retry_after=r.f64())
+    elif status == ST_OK:
+        if op == OP_COMPRESS:
+            resp = Response(status=status, blob=r.blob())
+        elif op in (OP_DECOMPRESS, OP_READ_SLAB):
+            resp = Response(status=status, array=_unpack_array(r))
+        elif op == OP_STATS:
+            resp = Response(status=status, mapping=r.kv())
+        else:
+            resp = Response(status=status)
+    else:
+        raise ProtocolError(f"unknown response status {status}")
+    r.done()
+    return resp
+
+
+# --------------------------------------------------------------------------
+# framing
+# --------------------------------------------------------------------------
+
+def frame(body: bytes) -> bytes:
+    """Prefix a message body with its u32 length."""
+    if len(body) > MAX_FRAME:
+        raise ProtocolError(
+            f"frame body of {len(body)} bytes exceeds cap {MAX_FRAME}"
+        )
+    return struct.pack("<I", len(body)) + body
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[bytes]:
+    """Read one frame body; None on clean EOF at a frame boundary."""
+    try:
+        head = await reader.readexactly(4)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-frame-header") from exc
+    (length,) = struct.unpack("<I", head)
+    if length > MAX_FRAME:
+        raise ProtocolError(f"frame length {length} exceeds cap {MAX_FRAME}")
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-frame") from exc
+
+
+def read_frame_sync(sock) -> bytes:
+    """Blocking frame read from a ``socket.socket`` (client side)."""
+    head = _recv_exact(sock, 4)
+    (length,) = struct.unpack("<I", head)
+    if length > MAX_FRAME:
+        raise ProtocolError(f"frame length {length} exceeds cap {MAX_FRAME}")
+    return _recv_exact(sock, length)
+
+
+def _recv_exact(sock, n: int) -> bytes:
+    parts = []
+    remaining = n
+    while remaining:
+        part = sock.recv(min(remaining, 1 << 20))
+        if not part:
+            raise ProtocolError("connection closed mid-frame")
+        parts.append(part)
+        remaining -= len(part)
+    return b"".join(parts)
+
+
+def op_for_request(req: Request) -> int:
+    if isinstance(req, PingRequest):
+        return OP_PING
+    if isinstance(req, CompressRequest):
+        return OP_COMPRESS
+    if isinstance(req, DecompressRequest):
+        return OP_DECOMPRESS
+    if isinstance(req, ReadSlabRequest):
+        return OP_READ_SLAB
+    if isinstance(req, StatsRequest):
+        return OP_STATS
+    raise ProtocolError(f"unknown request type {type(req).__name__}")
+
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME",
+    "OP_PING",
+    "OP_COMPRESS",
+    "OP_DECOMPRESS",
+    "OP_READ_SLAB",
+    "OP_STATS",
+    "ST_OK",
+    "ST_ERROR",
+    "ST_RETRY",
+    "PingRequest",
+    "CompressRequest",
+    "DecompressRequest",
+    "ReadSlabRequest",
+    "StatsRequest",
+    "Request",
+    "Response",
+    "encode_request",
+    "decode_request",
+    "encode_ok_empty",
+    "encode_ok_bytes",
+    "encode_ok_array",
+    "encode_ok_kv",
+    "encode_error",
+    "encode_retry",
+    "decode_response",
+    "frame",
+    "read_frame",
+    "read_frame_sync",
+    "op_for_request",
+]

@@ -1,0 +1,528 @@
+"""Bounded async job scheduler with plan-cached compression.
+
+The service's execution model, front to back:
+
+* Requests enter through :meth:`CompressionService.handle` and join ONE
+  bounded :class:`asyncio.Queue`.  A full queue rejects immediately with
+  :class:`ServiceOverloadedError` (carrying a suggested ``retry_after``)
+  instead of buffering unboundedly — load sheds at the door, which is
+  what keeps a compression service's memory proportional to the queue
+  bound rather than to the burst.
+* One scheduler task drains the queue.  Each cycle it takes every job
+  that is already waiting (up to ``batch_max``) and groups the compress
+  jobs by codec configuration — *per-codec batching*: all chunks of all
+  fields in a group are dispatched to the process pool as one burst, so
+  small requests from different connections share fork/IPC overhead the
+  way chunks of one big field already do.
+* Per-field work splits into the derivation and execution halves from
+  PR 3 (:mod:`repro.core.plan_cache`).  Derivation — sampling, Algorithm
+  1 selection, the Eq. 5 (alpha, beta) search — is the amortizable half,
+  so its result is kept in a :class:`~repro.core.plan_cache.PlanLRU`
+  keyed by (codec config, bound request, field signature).  Warm traffic
+  on a field family skips tuning entirely and goes straight to
+  execution; the quantizer still enforces the error bound point-wise on
+  every request, so a cache hit can never loosen the guarantee.
+* Execution runs off the event loop: chunk jobs go to the long-lived
+  process pool (:class:`~repro.parallel.executor.ChunkWorkPool`) when
+  ``processes > 1``, otherwise to a small thread executor (numpy releases
+  the GIL for the hot kernels, and tests stay fork-free).
+
+Container bytes are assembled with the same :class:`ChunkedWriter` walk
+as :func:`repro.chunked.api.compress_chunked_to_file`, and hyperslab
+reads execute the same :meth:`ChunkedFile.slab_plan` the library path
+runs — byte/bit identity between served and in-process results is by
+construction, and pinned in ``tests/service``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import math
+import os
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.chunked.api import (
+    ChunkedFile,
+    _resolve_eb_streaming,
+    compress_chunked,
+)
+from repro.chunked.container import ChunkedWriter
+from repro.chunked.tiling import grid_for
+from repro.compressors.base import decompress_any, get_compressor
+from repro.core.header import parse_header
+from repro.core.plan_cache import PlanLRU, field_signature, plan_cache_key
+from repro.errors import DecompressionError, ServiceOverloadedError
+from repro.parallel.executor import ChunkWorkPool, _decompress_one
+from repro.service.protocol import (
+    MAX_FRAME,
+    CompressRequest,
+    DecompressRequest,
+    PingRequest,
+    ReadSlabRequest,
+    Request,
+    StatsRequest,
+)
+from repro.utils import validate_field_lazy
+
+
+@dataclass
+class ServiceConfig:
+    """Knobs of one service instance.
+
+    ``processes <= 1`` keeps execution in-process (thread executor, no
+    forks) — the right default for tests and small deployments; larger
+    values fan chunk jobs out over a persistent process pool.
+
+    ``serve_root`` gates path-based hyperslab reads: ``None`` (the
+    default) refuses them outright, and a directory restricts them to
+    containers under it — a remote client must never get an arbitrary
+    file-read/probe primitive over the server's filesystem.
+    """
+
+    processes: int = 1
+    max_queue: int = 64
+    batch_max: int = 8
+    plan_cache_size: int = 128
+    retry_after: float = 0.05
+    io_threads: int = 4
+    open_files: int = 8
+    serve_root: Optional[str] = None
+
+
+@dataclass
+class _Job:
+    request: Request
+    future: "asyncio.Future"
+
+
+@dataclass
+class _PreparedCompress:
+    """Everything derivation resolved for one compress job."""
+
+    codec_name: str
+    codec_kwargs: Dict
+    codec_inst: object
+    grid: object
+    eb: float
+    plan: Optional[object]
+    data: np.ndarray
+    dtype: np.dtype
+
+    def chunk_at(self, index: int) -> np.ndarray:
+        """Contiguous copy of one chunk (sliced on demand, never stored)."""
+        return np.ascontiguousarray(self.data[self.grid.chunk_slices(index)])
+
+
+class CompressionService:
+    """Async compression service: bounded queue, batching, plan cache."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig()
+        self._queue: "asyncio.Queue[_Job]" = asyncio.Queue(
+            maxsize=max(1, self.config.max_queue)
+        )
+        self.plans = PlanLRU(self.config.plan_cache_size)
+        self._pool = ChunkWorkPool(self.config.processes)
+        self._threads = ThreadPoolExecutor(
+            max_workers=max(2, self.config.io_threads),
+            thread_name_prefix="repro-svc",
+        )
+        self._files: "OrderedDict[str, Tuple[Tuple[int, int], ChunkedFile]]" = (
+            OrderedDict()
+        )
+        self._task: Optional[asyncio.Task] = None
+        self._counts = {"compress": 0, "decompress": 0, "read": 0, "batches": 0}
+
+    # ------------------------------------------------------------ lifecycle
+    async def start(self) -> None:
+        if self._task is None:
+            self._task = asyncio.create_task(self._run(), name="repro-scheduler")
+
+    async def close(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        # jobs the scheduler was processing when cancelled are resolved
+        # by _run's CancelledError handler; here drain the still-queued
+        # ones — no caller may hang on a future nobody will resolve
+        while not self._queue.empty():
+            job = self._queue.get_nowait()
+            if not job.future.done():
+                job.future.set_exception(
+                    ServiceOverloadedError(self.config.retry_after)
+                )
+        for _, (_, cf) in self._files.items():
+            cf.close()
+        self._files.clear()
+        self._pool.shutdown()
+        self._threads.shutdown(wait=True)
+
+    # ------------------------------------------------------------ admission
+    def submit(self, request: Request) -> "asyncio.Future":
+        """Enqueue a job; raises :class:`ServiceOverloadedError` when full.
+
+        Admission is synchronous and non-blocking by design: the caller
+        (one connection handler among many) must learn *immediately*
+        whether the job was accepted, so it can push the RETRY response
+        instead of holding the connection while the queue drains.
+        """
+        future = asyncio.get_running_loop().create_future()
+        try:
+            self._queue.put_nowait(_Job(request, future))
+        except asyncio.QueueFull:
+            raise ServiceOverloadedError(self.config.retry_after) from None
+        return future
+
+    async def handle(self, request: Request):
+        """Process one request end-to-end (the in-process entry point)."""
+        if isinstance(request, PingRequest):
+            return None
+        if isinstance(request, StatsRequest):
+            return self.stats()
+        return await self.submit(request)
+
+    def stats(self) -> Dict[str, Union[int, float]]:
+        out: Dict[str, Union[int, float]] = {
+            "queue_depth": self._queue.qsize(),
+            "max_queue": self.config.max_queue,
+            "batch_max": self.config.batch_max,
+            "processes": self.config.processes,
+            "open_containers": len(self._files),
+            "jobs_compress": self._counts["compress"],
+            "jobs_decompress": self._counts["decompress"],
+            "jobs_read": self._counts["read"],
+            "batches": self._counts["batches"],
+        }
+        out.update(self.plans.stats())
+        return out
+
+    # ------------------------------------------------------------ scheduler
+    async def _run(self) -> None:
+        while True:
+            job = await self._queue.get()
+            batch = [job]
+            while len(batch) < self.config.batch_max:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            self._counts["batches"] += 1
+            try:
+                await self._run_batch(batch)
+            except asyncio.CancelledError:
+                # close() cancelled us mid-batch: resolve the in-flight
+                # futures so no caller blocks forever on .result()
+                for j in batch:
+                    if not j.future.done():
+                        j.future.set_exception(
+                            ServiceOverloadedError(self.config.retry_after)
+                        )
+                raise
+            except Exception as exc:  # last resort: fail the batch's jobs,
+                for j in batch:       # never the scheduler task itself
+                    if not j.future.done():
+                        j.future.set_exception(exc)
+
+    async def _run_batch(self, batch: List[_Job]) -> None:
+        # group compress jobs by codec configuration; everything else
+        # runs individually (reads are already chunk-concurrent inside)
+        groups: Dict[tuple, List[_Job]] = {}
+        singles: List[_Job] = []
+        for job in batch:
+            if isinstance(job.request, CompressRequest):
+                req = job.request
+                key = (req.codec, tuple(sorted(req.codec_kwargs.items())))
+                groups.setdefault(key, []).append(job)
+            else:
+                singles.append(job)
+        for group in groups.values():
+            await self._run_compress_group(group)
+        for job in singles:
+            await self._run_single(job)
+
+    async def _guard(self, job: _Job, coro) -> None:
+        """Await a job coroutine, routing the outcome into its future."""
+        try:
+            result = await coro
+        except (Exception, asyncio.CancelledError) as exc:
+            if isinstance(exc, asyncio.CancelledError):
+                raise
+            if not job.future.done():
+                job.future.set_exception(exc)
+        else:
+            if not job.future.done():
+                job.future.set_result(result)
+
+    # ------------------------------------------------------------- compress
+    async def _run_compress_group(self, jobs: List[_Job]) -> None:
+        loop = asyncio.get_running_loop()
+        prepared: List[Optional[_PreparedCompress]] = []
+        for job in jobs:
+            try:
+                prep = await loop.run_in_executor(
+                    self._threads, self._prepare_compress, job.request
+                )
+            except Exception as exc:
+                if not job.future.done():
+                    job.future.set_exception(exc)
+                prepared.append(None)
+            else:
+                prepared.append(prep)
+
+        if self._pool.parallel:
+            # every job in the group submits into the shared pool
+            # concurrently (the per-codec batching win), but a group-wide
+            # window bounds in-flight chunk copies at 4x the worker count
+            # — the same cap compress_chunks_streaming uses, so a batch
+            # of large fields cannot hold 2x-everything resident at once.
+            # _guard routes any failure (incl. a BrokenProcessPool on
+            # submit) into the job's future, never into the scheduler.
+            window = asyncio.Semaphore(4 * max(1, self.config.processes))
+            await asyncio.gather(*[
+                self._guard(job, self._compress_pooled(prep, window))
+                for job, prep in zip(jobs, prepared)
+                if prep is not None
+            ])
+        else:
+            for job, prep in zip(jobs, prepared):
+                if prep is None:
+                    continue
+                await self._guard(
+                    job, self._compress_inprocess(job.request, prep)
+                )
+        self._counts["compress"] += sum(p is not None for p in prepared)
+
+    def _prepare_compress(self, req: CompressRequest) -> _PreparedCompress:
+        """Blocking half: validate, resolve the bound, get/derive the plan."""
+        data = validate_field_lazy(req.data)
+        codec_inst = get_compressor(req.codec, **req.codec_kwargs)
+        grid = grid_for(data.shape, req.chunks)
+        eb, vrange = _resolve_eb_streaming(
+            data, grid, req.error_bound, req.rel_error_bound
+        )
+        plan = None
+        if not req.per_chunk_tuning and hasattr(codec_inst, "derive_plan"):
+            mode, bound = (
+                ("abs", req.error_bound)
+                if req.error_bound is not None
+                else ("rel", req.rel_error_bound)
+            )
+            key = plan_cache_key(
+                req.codec,
+                req.codec_kwargs,
+                mode,
+                bound,
+                field_signature(data, req.family),
+            )
+            plan = self.plans.get_or_derive(
+                key,
+                lambda: codec_inst.derive_plan(
+                    data, error_bound=eb, data_range=vrange
+                ),
+            )
+        return _PreparedCompress(
+            codec_name=req.codec,
+            codec_kwargs=req.codec_kwargs,
+            codec_inst=codec_inst,
+            grid=grid,
+            eb=eb,
+            plan=plan,
+            data=data,
+            dtype=data.dtype,
+        )
+
+    async def _compress_pooled(
+        self, prep: _PreparedCompress, window: asyncio.Semaphore
+    ) -> bytes:
+        loop = asyncio.get_running_loop()
+
+        async def one(index: int) -> bytes:
+            async with window:  # held from slice to completion: the
+                # number of live chunk copies never exceeds the window
+                chunk = await loop.run_in_executor(
+                    self._threads, prep.chunk_at, index
+                )
+                return await asyncio.wrap_future(
+                    self._pool.submit_compress(
+                        prep.codec_name, prep.codec_kwargs,
+                        chunk, prep.eb, prep.plan,
+                    )
+                )
+
+        blobs = await asyncio.gather(*[one(i) for i in prep.grid])
+        return await loop.run_in_executor(
+            self._threads, self._assemble_container, prep, blobs
+        )
+
+    async def _compress_inprocess(
+        self, req: CompressRequest, prep: _PreparedCompress
+    ) -> bytes:
+        """In-process execution IS the library path: ``compress_chunked``
+        with the resolved absolute bound and the (cached) plan injected —
+        byte parity is shared code, not a parallel implementation."""
+        loop = asyncio.get_running_loop()
+
+        def run() -> bytes:
+            return compress_chunked(
+                prep.data,
+                codec=prep.codec_name,
+                chunks=req.chunks,
+                codec_kwargs=prep.codec_kwargs,
+                error_bound=prep.eb,
+                per_chunk_tuning=req.per_chunk_tuning,
+                plan=prep.plan,
+            )
+
+        return await loop.run_in_executor(self._threads, run)
+
+    def _assemble_container(
+        self, prep: _PreparedCompress, blobs: List[bytes]
+    ) -> bytes:
+        """Pack chunk streams exactly like ``compress_chunked_to_file``."""
+        buf = io.BytesIO()
+        with ChunkedWriter(
+            buf, prep.codec_inst.codec_id, prep.dtype, prep.grid, prep.eb
+        ) as w:
+            for i, blob in enumerate(blobs):
+                w.write_chunk(i, blob)
+        return buf.getvalue()
+
+    # ------------------------------------------------------ decompress/read
+    @staticmethod
+    def _check_decode_size(shape, dtype, what: str) -> None:
+        """Cap attacker-declared output sizes at the protocol frame cap.
+
+        A forged container header can declare an arbitrarily large field
+        in a few bytes; the response has to fit in one frame anyway, so
+        anything bigger than :data:`MAX_FRAME` is rejected *before* the
+        allocation (exact big-int arithmetic — no int64 wraparound)."""
+        nbytes = math.prod(int(n) for n in shape) * np.dtype(dtype).itemsize
+        if nbytes > MAX_FRAME:
+            raise DecompressionError(
+                f"declared {what} of {nbytes} bytes exceeds the "
+                f"{MAX_FRAME}-byte service frame cap"
+            )
+
+    async def _run_single(self, job: _Job) -> None:
+        req = job.request
+        if isinstance(req, DecompressRequest):
+            await self._guard(job, self._decompress(req))
+            self._counts["decompress"] += 1
+        elif isinstance(req, ReadSlabRequest):
+            await self._guard(job, self._read_slab(req))
+            self._counts["read"] += 1
+        else:
+            if not job.future.done():
+                job.future.set_exception(
+                    TypeError(f"unschedulable request {type(req).__name__}")
+                )
+
+    async def _decompress(self, req: DecompressRequest) -> np.ndarray:
+        blob = req.blob
+        header, _ = parse_header(blob[:64])
+        self._check_decode_size(header.shape, header.dtype, "field")
+        if not header.is_chunked:
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(
+                self._threads, decompress_any, blob
+            )
+        cf = ChunkedFile(blob)
+        try:
+            full = tuple(slice(0, n) for n in cf.shape)
+            return await self._read_from(cf, full)
+        finally:
+            cf.close()
+
+    async def _read_slab(self, req: ReadSlabRequest) -> np.ndarray:
+        if isinstance(req.source, (bytes, bytearray, memoryview)):
+            cf = ChunkedFile(bytes(req.source))
+            try:
+                # wire-delivered container: its declared field size is as
+                # attacker-controlled as a DECOMPRESS blob's
+                self._check_decode_size(cf.shape, cf.dtype, "field")
+                return await self._read_from(cf, req.slab)
+            finally:
+                cf.close()
+        cf = await self._open_container(self._resolve_path(str(req.source)))
+        return await self._read_from(cf, req.slab)
+
+    def _resolve_path(self, path: str) -> str:
+        """Confine path-based reads to ``serve_root`` (refuse without one).
+
+        The resolved real path must stay under the root — symlinks and
+        ``..`` segments cannot escape it, and the error for a refused
+        path never echoes whether it exists.
+        """
+        root = self.config.serve_root
+        if root is None:
+            raise PermissionError(
+                "path-based reads are disabled (server started without "
+                "a serve root); send the container bytes inline instead"
+            )
+        root_real = os.path.realpath(root)
+        candidate = os.path.realpath(os.path.join(root_real, path))
+        if candidate != root_real and not candidate.startswith(
+            root_real + os.sep
+        ):
+            raise PermissionError(
+                f"path {path!r} is outside the configured serve root"
+            )
+        return candidate
+
+    async def _open_container(self, path: str) -> ChunkedFile:
+        """Open (or reuse) a server-side container, LRU + mtime-validated."""
+        loop = asyncio.get_running_loop()
+        st = await loop.run_in_executor(self._threads, os.stat, path)
+        stamp = (st.st_mtime_ns, st.st_size)
+        cached = self._files.pop(path, None)
+        if cached is not None and cached[0] == stamp:
+            self._files[path] = cached  # re-insert = move to MRU end
+            return cached[1]
+        if cached is not None:
+            cached[1].close()
+        cf = await loop.run_in_executor(self._threads, ChunkedFile, path)
+        self._files[path] = (stamp, cf)
+        while len(self._files) > self.config.open_files:
+            _, (_, old) = self._files.popitem(last=False)
+            old.close()
+        return cf
+
+    async def _read_from(self, cf: ChunkedFile, slab) -> np.ndarray:
+        """Concurrent-decode execution of ``ChunkedFile.slab_plan``."""
+        loop = asyncio.get_running_loop()
+        norm, parts = cf.slab_plan(slab)
+        out_shape = tuple(s.stop - s.start for s in norm)
+        self._check_decode_size(out_shape, cf.dtype, "hyperslab")
+        out = np.empty(out_shape, dtype=cf.dtype)
+        if not parts:
+            return out
+        blobs = await asyncio.gather(*[
+            loop.run_in_executor(self._threads, cf.chunk_bytes, i)
+            for i, _, _ in parts
+        ])
+        if self._pool.parallel and len(parts) > 1:
+            chunks = await asyncio.gather(*[
+                asyncio.wrap_future(self._pool.submit_decompress(b))
+                for b in blobs
+            ])
+        else:
+            chunks = await asyncio.gather(*[
+                loop.run_in_executor(self._threads, _decompress_one, b)
+                for b in blobs
+            ])
+        for (i, src, dst), chunk in zip(parts, chunks):
+            out[dst] = chunk[src]
+        return out
+
+
+__all__ = ["CompressionService", "ServiceConfig"]

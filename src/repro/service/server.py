@@ -1,0 +1,167 @@
+"""Asyncio front end: ``python -m repro serve`` (or ``repro serve``).
+
+One :class:`~repro.service.scheduler.CompressionService` serves every
+connection; each connection handler reads frames sequentially (request
+concurrency comes from having many connections, which is how the shared
+scheduler queue sees interleaved traffic to batch).  Errors are mapped to
+protocol responses at this boundary:
+
+* :class:`ServiceOverloadedError` -> RETRY with the suggested delay —
+  the *normal* outcome under burst load, not a failure;
+* any :class:`ReproError` / ``ValueError`` / ``KeyError`` / ``OSError``
+  -> ERROR with a one-line message (tracebacks stay server-side);
+* a malformed frame -> ERROR, then the connection is dropped (framing
+  can no longer be trusted).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import (
+    ProtocolError,
+    ReproError,
+    ServiceOverloadedError,
+)
+from repro.service import protocol
+from repro.service.scheduler import CompressionService, ServiceConfig
+
+
+class ServiceServer:
+    """Wrap a :class:`CompressionService` in an asyncio stream server."""
+
+    def __init__(
+        self,
+        service: CompressionService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port  # 0 = pick a free port; updated once listening
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> None:
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.close()
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    # ------------------------------------------------------------- plumbing
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    body = await protocol.read_frame(reader)
+                except ProtocolError as exc:
+                    writer.write(protocol.frame(protocol.encode_error(str(exc))))
+                    await writer.drain()
+                    break
+                if body is None:
+                    break
+                response = await self._respond(body)
+                writer.write(protocol.frame(response))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            # server shutdown while blocked on read_frame; returning (not
+            # re-raising) keeps asyncio.streams' connection_made callback
+            # from logging the retrieved CancelledError at close
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _respond(self, body: bytes) -> bytes:
+        try:
+            request = protocol.decode_request(body)
+        except (ProtocolError, ValueError, TypeError) as exc:
+            # beyond ProtocolError, a forged body can fail deeper in the
+            # decode (np.dtype on a garbage string -> TypeError, invalid
+            # UTF-8 -> UnicodeDecodeError, reshape -> ValueError); all of
+            # them are "malformed frame" and get the ERROR response
+            return protocol.encode_error(str(exc))
+        try:
+            result = await self.service.handle(request)
+        except ServiceOverloadedError as exc:
+            return protocol.encode_retry(exc.retry_after)
+        except Exception as exc:
+            # this is THE error-mapping boundary: anything a handler can
+            # raise (ReproError, KeyError, OSError, MemoryError, ...)
+            # becomes a one-line ERROR frame and the connection lives on.
+            # CancelledError is a BaseException and still propagates.
+            msg = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
+            return protocol.encode_error(str(msg) or type(exc).__name__)
+        if isinstance(request, protocol.CompressRequest):
+            response = protocol.encode_ok_bytes(result)
+        elif isinstance(
+            request, (protocol.DecompressRequest, protocol.ReadSlabRequest)
+        ):
+            response = protocol.encode_ok_array(np.asarray(result))
+        elif isinstance(request, protocol.StatsRequest):
+            response = protocol.encode_ok_kv(result)
+        else:
+            response = protocol.encode_ok_empty()
+        if len(response) > protocol.MAX_FRAME:
+            # a result that cannot be framed must degrade to an ERROR
+            # response, not let frame() raise past the error boundary
+            # and kill the connection after the work was already done
+            return protocol.encode_error(
+                f"result of {len(response)} bytes exceeds the "
+                f"{protocol.MAX_FRAME}-byte frame cap"
+            )
+        return response
+
+
+def run_server(
+    host: str = "127.0.0.1",
+    port: int = 9753,
+    config: Optional[ServiceConfig] = None,
+) -> int:
+    """Blocking entry point for the CLI: serve until interrupted.
+
+    Prints one ``repro service listening on HOST:PORT`` line once the
+    socket is bound (``--port 0`` picks a free port, so callers — the CI
+    smoke test included — parse the actual port from this line).
+    """
+
+    async def _main() -> None:
+        server = ServiceServer(CompressionService(config), host, port)
+        await server.start()
+        print(
+            f"repro service listening on {server.host}:{server.port}",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+__all__ = ["ServiceServer", "run_server"]

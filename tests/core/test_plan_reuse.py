@@ -90,6 +90,37 @@ class TestChunkWiseReuse:
                 out = f.to_array()
             assert np.abs(out.astype(np.float64) - data).max() <= eb
 
+    def test_injected_plan_matches_derived_plan_bytes(self):
+        """compress_chunked(plan=...) must equal the derive-inside path
+        (the service layer injects its cached plan through this kwarg)."""
+        data = smooth3d((48, 48, 48), seed=9)
+        eb = 1e-3
+        plan = QoZ(metric="cr").derive_plan(data, error_bound=eb)
+        injected = compress_chunked(
+            data, codec="qoz", chunks=24, error_bound=eb, plan=plan
+        )
+        derived = compress_chunked(
+            data, codec="qoz", chunks=24, error_bound=eb
+        )
+        assert injected == derived
+
+    def test_injected_plan_rejected_for_planless_codec(self):
+        data = smooth3d(seed=10)
+        plan = QoZ(metric="cr").derive_plan(data, error_bound=1e-3)
+        with pytest.raises(CompressionError, match="does not support plan"):
+            compress_chunked(
+                data, codec="zfp", chunks=24, error_bound=1e-3, plan=plan
+            )
+
+    def test_injected_plan_contradicts_per_chunk_tuning(self):
+        data = smooth3d(seed=11)
+        plan = QoZ(metric="cr").derive_plan(data, error_bound=1e-3)
+        with pytest.raises(CompressionError, match="contradictory"):
+            compress_chunked(
+                data, codec="qoz", chunks=24, error_bound=1e-3,
+                plan=plan, per_chunk_tuning=True,
+            )
+
     def test_shared_plan_amortizes_tuning_work(self):
         """The shared-plan path must not re-derive per chunk (the point of
         the split); spy on derive_plan to count invocations."""

@@ -1,0 +1,136 @@
+"""End-to-end smoke over real sockets: one server, N concurrent clients.
+
+This is the test the ``service-smoke`` CI job runs: spawn ``python -m
+repro serve`` as a subprocess, drive a compress -> hyperslab-read ->
+decompress roundtrip through :class:`RemoteClient` from several threads
+at once, and pin the served bytes to the in-process
+``compress_chunked`` / ``ChunkedFile`` path.
+"""
+
+import subprocess
+import sys
+import threading
+
+import numpy as np
+import pytest
+
+from repro.chunked import ChunkedFile, compress_chunked
+from repro.errors import RemoteServiceError
+from repro.service import RemoteClient
+
+N_CONNECTIONS = 4
+SLAB = (slice(3, 33), slice(None), slice(8, 30))
+
+
+def smooth3d(shape=(36, 36, 36), seed=0):
+    rng = np.random.default_rng(seed)
+    x = np.cumsum(rng.standard_normal(shape), axis=0)
+    return (x / np.abs(x).max()).astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def server(subprocess_env):
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0", "--processes", "1",
+        ],
+        env=subprocess_env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        line = proc.stdout.readline()
+        assert "listening on" in line, (line, proc.stderr.read())
+        port = int(line.rsplit(":", 1)[1])
+        yield port
+    finally:
+        proc.terminate()
+        proc.wait(timeout=10)
+
+
+# the fixture above is module-scoped but needs the function-scoped
+# subprocess_env fixture; re-export it at module scope
+@pytest.fixture(scope="module")
+def subprocess_env():
+    import os
+    import pathlib
+
+    src = pathlib.Path(__file__).parent.parent.parent / "src"
+    env = os.environ.copy()
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = str(src) + (
+        (os.pathsep + existing) if existing else ""
+    )
+    return env
+
+
+class TestSmoke:
+    def test_concurrent_roundtrips_match_inprocess_path(self, server):
+        data = smooth3d(seed=1)
+        inline = compress_chunked(
+            data, codec="qoz", rel_error_bound=1e-3, chunks=18
+        )
+        with ChunkedFile(inline) as f:
+            expected_slab = f.read(SLAB)
+
+        failures = []
+        results = []
+
+        def roundtrip(i):
+            try:
+                with RemoteClient(port=server, retries=10) as client:
+                    blob = client.compress(
+                        data, codec="qoz", rel_error_bound=1e-3, chunks=18
+                    )
+                    slab = client.read(blob, SLAB)
+                    recon = client.decompress(blob)
+                    results.append((blob, slab, recon))
+            except Exception as exc:  # pragma: no cover - diagnostic
+                failures.append((i, repr(exc)))
+
+        threads = [
+            threading.Thread(target=roundtrip, args=(i,))
+            for i in range(N_CONNECTIONS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=300)
+        assert not failures, failures
+        assert len(results) == N_CONNECTIONS
+        for blob, slab, recon in results:
+            assert blob == inline  # byte-identical to the library path
+            assert np.array_equal(slab, expected_slab)
+            assert recon.shape == data.shape
+            assert np.abs(
+                recon.astype(np.float64) - data.astype(np.float64)
+            ).max() <= 1e-3 * float(data.max() - data.min()) + 1e-12
+
+    def test_plan_cache_is_warm_across_connections(self, server):
+        data = smooth3d(seed=3)
+        with RemoteClient(port=server) as client:
+            client.compress(data, codec="qoz", rel_error_bound=1e-3, chunks=18)
+            before = client.stats()
+            client.compress(data, codec="qoz", rel_error_bound=1e-3, chunks=18)
+            after = client.stats()
+        # the second identical request is a pure cache hit — no derive
+        assert after["plan_derives"] == before["plan_derives"]
+        assert after["plan_cache_hits"] == before["plan_cache_hits"] + 1
+
+    def test_remote_errors_are_clean(self, server):
+        with RemoteClient(port=server) as client:
+            with pytest.raises(RemoteServiceError):
+                client.compress(
+                    smooth3d(seed=2), codec="no-such-codec", error_bound=1e-3
+                )
+            # the connection survives an error response
+            client.ping()
+
+    def test_ping_and_stats(self, server):
+        with RemoteClient(port=server) as client:
+            client.ping()
+            stats = client.stats()
+            assert stats["processes"] == 1
+            assert stats["max_queue"] == 64
