@@ -1,17 +1,32 @@
-"""Service-layer latency: cold derive vs warm plan-cache hit.
+"""Open-loop service load generator: admission behavior under saturation.
 
-Measures what the service exists to amortize — the per-request cost of
-QoZ's sampling/selection/tuning.  One in-process client issues repeated
-compress requests for the same field family: the first request derives
-the plan (cold), the rest hit the LRU (warm).  Also times a hyperslab
-read served from a container.  Informational (no committed baseline /
-CI gate — the compress-smoke gate already pins execution throughput;
-this reports the *ratio*, which is machine-independent)::
+Drives the in-process service the way an impatient fleet of clients
+would — requests are issued on a fixed wall-clock schedule whether or
+not earlier ones have finished (open loop), so queueing delay is
+measured honestly instead of being absorbed by a closed loop's
+self-throttling.  Three phases:
 
-    PYTHONPATH=src python benchmarks/bench_service.py [--write PATH]
+1. *Calibrate*: run one warm workload cycle closed-loop to estimate the
+   sustainable request rate (plans pre-derived; derivation cost is the
+   service's to amortize, not the load generator's to measure).
+2. *Baseline*: open loop at 0.5x sustainable — an unsaturated service —
+   recording p50/p99 latency of interactive requests.
+3. *Saturate*: open loop at 2x sustainable with mixed interactive/batch
+   traffic.  Under cost-aware admission the batch lane sheds load first
+   and admitted interactive p99 should stay within ~3x of the
+   unsaturated baseline; the same schedule replayed against a
+   depth-only (request-count) admission service shows the contrast.
+
+Every run reconciles the load generator's own admit/reject tallies
+against the service's STATS counters — exactly, not approximately; a
+mismatch is a bug in the metrics pipeline and raises.  Informational
+(no committed baseline / CI gate)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--duration S] [--write PATH]
 """
 
 import argparse
+import concurrent.futures
 import json
 import pathlib
 import sys
@@ -19,79 +34,265 @@ import time
 
 import numpy as np
 
-from repro.service import ServiceClient, ServiceConfig
+from repro.errors import ServiceOverloadedError
+from repro.service import ServiceClient, ServiceConfig, protocol
+from repro.service.protocol import CompressRequest
 
-SHAPE = (96, 96, 96)
-CHUNK = 32
-WARM_ROUNDS = 5
+INTERACTIVE_SHAPE = (32, 32, 32)
+BATCH_SHAPE = (64, 64, 64)
+# one workload cycle: mostly small interactive requests, one big batch job
+CYCLE = ["interactive"] * 4 + ["batch"]
+N_CLIENTS = 8
+CODEC = "qoz"
+REL_EB = 1e-3
 
 
-def make_field():
+def make_fields():
     rng = np.random.default_rng(42)
-    x = np.cumsum(rng.standard_normal(SHAPE), axis=0)
-    x += np.cumsum(rng.standard_normal(SHAPE), axis=1)
-    return (x / np.abs(x).max()).astype(np.float32)
+
+    def field(shape):
+        x = np.cumsum(rng.standard_normal(shape), axis=0)
+        x += np.cumsum(rng.standard_normal(shape), axis=1)
+        return (x / np.abs(x).max()).astype(np.float32)
+
+    return {
+        "interactive": field(INTERACTIVE_SHAPE),
+        "batch": field(BATCH_SHAPE),
+    }
 
 
-def run_benchmark():
-    field = make_field()
-    results = {"shape": list(SHAPE), "chunk": CHUNK}
-    with ServiceClient(ServiceConfig(processes=1)) as svc:
-        t0 = time.perf_counter()
-        blob = svc.compress(
-            field, codec="qoz", rel_error_bound=1e-3, chunks=CHUNK
-        )
-        cold = time.perf_counter() - t0
-
-        warm_times = []
-        for _ in range(WARM_ROUNDS):
-            t0 = time.perf_counter()
-            warm_blob = svc.compress(
-                field, codec="qoz", rel_error_bound=1e-3, chunks=CHUNK
-            )
-            warm_times.append(time.perf_counter() - t0)
-        assert warm_blob == blob, "warm request must be byte-identical"
-        warm = min(warm_times)
-
-        slab = (slice(10, 70), slice(None), slice(30, 34))
-        t0 = time.perf_counter()
-        svc.read(blob, slab)
-        read_s = time.perf_counter() - t0
-
-        stats = svc.stats()
-
-    mb = field.nbytes / 1e6
-    results.update(
-        cold_compress_s=round(cold, 4),
-        warm_compress_s=round(warm, 4),
-        warm_speedup=round(cold / warm, 2),
-        cold_mb_per_s=round(mb / cold, 2),
-        warm_mb_per_s=round(mb / warm, 2),
-        hyperslab_read_s=round(read_s, 4),
-        plan_derives=stats["plan_derives"],
-        plan_cache_hits=stats["plan_cache_hits"],
+def build_request(kind, fields, client_id):
+    return CompressRequest(
+        data=fields[kind],
+        codec=CODEC,
+        rel_error_bound=REL_EB,
+        family=f"load-{kind}",
+        priority=kind if kind in protocol.PRIORITIES else "interactive",
+        client_id=client_id,
     )
+
+
+def service_config(cost_aware=True):
+    # generous per-client quotas: this benchmark exercises the capacity
+    # and priority rules, not the per-client fairness rule
+    return ServiceConfig(
+        processes=1,
+        cost_aware=cost_aware,
+        client_rate=1e9,
+        client_burst=1e9,
+    )
+
+
+def warm_plans(svc, fields):
+    """Derive both families' plans once so every timed request is warm."""
+    for kind, data in fields.items():
+        svc.compress(
+            data, codec=CODEC, rel_error_bound=REL_EB, family=f"load-{kind}"
+        )
+
+
+def calibrate(svc, fields):
+    """Closed-loop warm cycles -> sustainable requests/second."""
+    best = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        for kind in CYCLE:
+            svc.compress(
+                fields[kind],
+                codec=CODEC,
+                rel_error_bound=REL_EB,
+                family=f"load-{kind}",
+                priority=kind,
+            )
+        best = min(best, time.perf_counter() - t0)
+    return len(CYCLE) / best
+
+
+def snapshot_counters(svc):
+    stats = svc.stats()
+    return {
+        k: stats[k]
+        for k in (
+            "admitted_interactive", "admitted_batch",
+            "rejected_interactive", "rejected_batch",
+            "retried_interactive", "retried_batch",
+        )
+    }
+
+
+def open_loop_run(svc, fields, rate, duration, mixed=True):
+    """Issue requests on a fixed schedule; tally and time every outcome.
+
+    Returns per-class latency samples (admitted requests only, seconds)
+    and the load generator's own admit/reject tallies.
+    """
+    loop = svc._loop
+    service = svc.service
+    n = max(1, int(rate * duration))
+    kinds = [CYCLE[i % len(CYCLE)] if mixed else "interactive"
+             for i in range(n)]
+    pending = []  # (kind, t_submit, future)
+    tally = {
+        "sent": 0,
+        "admitted": {"interactive": 0, "batch": 0},
+        "rejected": {"interactive": 0, "batch": 0},
+    }
+    done_at = {}  # id(fut) -> completion timestamp, stamped by callback
+    start = time.perf_counter()
+    for i, kind in enumerate(kinds):
+        target = start + i / rate
+        delay = target - time.perf_counter()
+        if delay > 0:
+            time.sleep(delay)
+        req = build_request(kind, fields, f"lg-{i % N_CLIENTS}")
+        t_submit = time.perf_counter()
+        fut = asyncio_submit(loop, service.handle(req))
+        # stamp completion when it happens, not when the collection loop
+        # below gets around to asking — the difference is the whole
+        # remaining submission schedule for early finishers
+        fut.add_done_callback(
+            lambda f: done_at.setdefault(id(f), time.perf_counter())
+        )
+        pending.append((kind, t_submit, fut))
+        tally["sent"] += 1
+    latency = {"interactive": [], "batch": []}
+    for kind, t_submit, fut in pending:
+        try:
+            fut.result(timeout=300)
+        except ServiceOverloadedError:
+            tally["rejected"][kind] += 1
+            continue
+        tally["admitted"][kind] += 1
+        latency[kind].append(done_at[id(fut)] - t_submit)
+    return latency, tally
+
+
+def asyncio_submit(loop, coro):
+    import asyncio
+
+    return asyncio.run_coroutine_threadsafe(coro, loop)
+
+
+def percentiles(samples):
+    if not samples:
+        return {"n": 0, "p50_ms": None, "p99_ms": None}
+    arr = np.asarray(samples)
+    return {
+        "n": int(arr.size),
+        "p50_ms": round(float(np.percentile(arr, 50)) * 1e3, 2),
+        "p99_ms": round(float(np.percentile(arr, 99)) * 1e3, 2),
+    }
+
+
+def reconcile(before, after, tally):
+    """Server counter deltas must match the load generator exactly."""
+    for cls in ("interactive", "batch"):
+        admitted = after[f"admitted_{cls}"] - before[f"admitted_{cls}"]
+        rejected = after[f"rejected_{cls}"] - before[f"rejected_{cls}"]
+        if admitted != tally["admitted"][cls]:
+            raise AssertionError(
+                f"admitted_{cls}: server says {admitted}, "
+                f"load generator counted {tally['admitted'][cls]}"
+            )
+        if rejected != tally["rejected"][cls]:
+            raise AssertionError(
+                f"rejected_{cls}: server says {rejected}, "
+                f"load generator counted {tally['rejected'][cls]}"
+            )
+
+
+def run_mode(cost_aware, fields, rate, duration):
+    """One saturated open-loop run against a fresh service."""
+    with ServiceClient(service_config(cost_aware=cost_aware)) as svc:
+        warm_plans(svc, fields)
+        before = snapshot_counters(svc)
+        latency, tally = open_loop_run(
+            svc, fields, rate=2.0 * rate, duration=duration
+        )
+        after = snapshot_counters(svc)
+        reconcile(before, after, tally)
+    return latency, tally
+
+
+def run_benchmark(duration):
+    fields = make_fields()
+    results = {
+        "interactive_shape": list(INTERACTIVE_SHAPE),
+        "batch_shape": list(BATCH_SHAPE),
+        "cycle": list(CYCLE),
+        "duration_s": duration,
+    }
+
+    # calibrate + unsaturated baseline on one cost-aware service
+    with ServiceClient(service_config(cost_aware=True)) as svc:
+        warm_plans(svc, fields)
+        rate = calibrate(svc, fields)
+        before = snapshot_counters(svc)
+        base_latency, base_tally = open_loop_run(
+            svc, fields, rate=0.5 * rate, duration=duration
+        )
+        after = snapshot_counters(svc)
+        reconcile(before, after, base_tally)
+    results["sustainable_rps"] = round(rate, 2)
+    results["baseline"] = {
+        "rate_rps": round(0.5 * rate, 2),
+        "interactive": percentiles(base_latency["interactive"]),
+        "batch": percentiles(base_latency["batch"]),
+    }
+
+    for mode, cost_aware in (("cost_aware", True), ("depth_only", False)):
+        latency, tally = run_mode(cost_aware, fields, rate, duration)
+        results[mode] = {
+            "rate_rps": round(2.0 * rate, 2),
+            "interactive": percentiles(latency["interactive"]),
+            "batch": percentiles(latency["batch"]),
+            "sent": tally["sent"],
+            "admitted": dict(tally["admitted"]),
+            "rejected": dict(tally["rejected"]),
+            "reconciled": True,  # reconcile() raised otherwise
+        }
+
+    base_p99 = results["baseline"]["interactive"]["p99_ms"]
+    sat_p99 = results["cost_aware"]["interactive"]["p99_ms"]
+    if base_p99 and sat_p99:
+        results["interactive_p99_inflation"] = round(sat_p99 / base_p99, 2)
+        results["within_3x"] = bool(sat_p99 <= 3.0 * base_p99)
     return results
 
 
 def format_results(r):
-    return "\n".join([
-        f"service compress {tuple(r['shape'])} f32, chunks={r['chunk']}:",
-        f"  cold (derive + execute)  {r['cold_compress_s']:.3f}s"
-        f"  ({r['cold_mb_per_s']:.1f} MB/s)",
-        f"  warm (plan-cache hit)    {r['warm_compress_s']:.3f}s"
-        f"  ({r['warm_mb_per_s']:.1f} MB/s)",
-        f"  warm speedup             {r['warm_speedup']:.2f}x"
-        f"  (derives={r['plan_derives']}, hits={r['plan_cache_hits']})",
-        f"  hyperslab read           {r['hyperslab_read_s']:.3f}s",
-    ])
+    lines = [
+        f"open-loop service load, cycle={r['cycle']}"
+        f" sustainable={r['sustainable_rps']:.1f} req/s:",
+        f"  baseline  0.5x: interactive p50/p99 "
+        f"{r['baseline']['interactive']['p50_ms']}/"
+        f"{r['baseline']['interactive']['p99_ms']} ms "
+        f"(n={r['baseline']['interactive']['n']})",
+    ]
+    for mode in ("cost_aware", "depth_only"):
+        m = r[mode]
+        lines.append(
+            f"  {mode:<9} 2x: interactive p50/p99 "
+            f"{m['interactive']['p50_ms']}/{m['interactive']['p99_ms']} ms "
+            f"(admitted {m['admitted']}, rejected {m['rejected']}, "
+            f"reconciled={m['reconciled']})"
+        )
+    if "interactive_p99_inflation" in r:
+        lines.append(
+            f"  cost-aware interactive p99 inflation at 2x: "
+            f"{r['interactive_p99_inflation']}x "
+            f"({'within' if r['within_3x'] else 'OVER'} the 3x target)"
+        )
+    return "\n".join(lines)
 
 
 def main(argv=None):
     ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--duration", type=float, default=3.0,
+                    help="seconds per open-loop phase (default 3)")
     ap.add_argument("--write", metavar="PATH", help="write results JSON")
     args = ap.parse_args(argv)
-    results = run_benchmark()
+    results = run_benchmark(args.duration)
     print(format_results(results))
     if args.write:
         pathlib.Path(args.write).write_text(

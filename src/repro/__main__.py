@@ -1,4 +1,4 @@
-"""Command-line interface: ``python -m repro {compress,decompress,info,serve}``.
+"""CLI: ``python -m repro {compress,decompress,info,serve,serve-stats}``.
 
 The CLI is the out-of-core entry point to the chunked subsystem
 (:mod:`repro.chunked`): ``compress`` memory-maps ``.npy`` inputs and
@@ -19,8 +19,11 @@ Examples::
 
 ``serve`` runs the long-lived async compression service
 (:mod:`repro.service`): compress / decompress / hyperslab-read over a
-binary socket protocol, with cross-request plan caching.  The package
-also installs a ``repro`` console script pointing at this module.
+binary socket protocol, with cost-aware admission control and
+cross-request plan caching.  ``serve-stats`` connects to a running
+service and renders its observability snapshot as a table (or
+``--json`` / ``--line``, optionally ``--watch N``).  The package also
+installs a ``repro`` console script pointing at this module.
 """
 
 from __future__ import annotations
@@ -201,8 +204,49 @@ def _cmd_serve(args) -> int:
         batch_max=args.batch_max,
         plan_cache_size=args.plan_cache,
         serve_root=args.serve_root,
+        max_work_units=args.max_work_units,
+        batch_share=args.batch_share,
+        client_rate=args.client_rate,
+        client_burst=args.client_burst,
+        cost_aware=not args.depth_only,
+        stats_interval=args.stats_interval,
     )
     return run_server(host=args.host, port=args.port, config=config)
+
+
+def _stats_rows(stats: dict) -> list:
+    rows = []
+    for key in sorted(stats):
+        value = stats[key]
+        if isinstance(value, float):
+            value = f"{value:.4g}"
+        rows.append([key, value])
+    return rows
+
+
+def _cmd_serve_stats(args) -> int:
+    import json
+
+    from repro.analysis import format_table
+    from repro.service import RemoteClient, format_stats_line
+
+    try:
+        while True:
+            with RemoteClient(host=args.host, port=args.port) as client:
+                stats = client.stats()
+            if args.json:
+                print(json.dumps(stats, sort_keys=True))
+            elif args.line:
+                print(format_stats_line(stats))
+            else:
+                print(format_table(["stat", "value"], _stats_rows(stats)))
+            if not args.watch:
+                return 0
+            time.sleep(args.watch)
+            if not args.json and not args.line:
+                print()
+    except KeyboardInterrupt:
+        return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -272,7 +316,40 @@ def build_parser() -> argparse.ArgumentParser:
                    help="allow path-based hyperslab reads for containers "
                         "under DIR (default: path reads disabled; "
                         "clients must send container bytes inline)")
+    s.add_argument("--max-work-units", type=float, default=64.0,
+                   help="admission budget in predicted work units (one "
+                        "unit ~ one megaelement of warm interpolation "
+                        "compression; default 64)")
+    s.add_argument("--batch-share", type=float, default=0.5,
+                   help="fraction of the work-unit budget batch-priority "
+                        "requests may occupy (default 0.5)")
+    s.add_argument("--client-rate", type=float, default=16.0,
+                   help="per-client quota refill rate in work units/s "
+                        "(default 16)")
+    s.add_argument("--client-burst", type=float, default=48.0,
+                   help="per-client quota burst in work units (default 48)")
+    s.add_argument("--depth-only", action="store_true",
+                   help="disable cost-aware admission and priority lanes; "
+                        "admit by queued-job count alone (the pre-admission "
+                        "baseline, for load-test comparison)")
+    s.add_argument("--stats-interval", type=float, default=0.0,
+                   help="log one service-stats line every N seconds "
+                        "(0 = disabled)")
     s.set_defaults(func=_cmd_serve)
+
+    ss = sub.add_parser(
+        "serve-stats",
+        help="fetch and render a running service's stats snapshot",
+    )
+    ss.add_argument("--host", default="127.0.0.1", help="service address")
+    ss.add_argument("--port", type=int, default=9753, help="service port")
+    ss.add_argument("--json", action="store_true",
+                    help="emit the raw snapshot as one JSON object")
+    ss.add_argument("--line", action="store_true",
+                    help="emit the compact one-line form the server logs")
+    ss.add_argument("--watch", type=float, default=0.0, metavar="SECONDS",
+                    help="re-fetch and re-render every N seconds")
+    ss.set_defaults(func=_cmd_serve_stats)
     return parser
 
 

@@ -258,6 +258,17 @@ class PlanLRU:
             self.hits += 1
             return plan
 
+    def peek(self, key: Hashable) -> Optional[FrozenPlan]:
+        """Cached plan without side effects: no counter bump, no LRU move.
+
+        The admission cost model asks "would this request be warm?" on
+        every submit; that question must not perturb the hit/miss
+        counters the observability layer reports, nor refresh an entry's
+        recency just for being asked about.
+        """
+        with self._lock:
+            return self._plans.get(key)
+
     def put(self, key: Hashable, plan: FrozenPlan) -> None:
         with self._lock:
             self._plans[key] = plan
@@ -278,12 +289,16 @@ class PlanLRU:
         self.put(key, plan)
         return plan
 
-    def stats(self) -> Dict[str, int]:
+    def stats(self) -> Dict[str, float]:
         with self._lock:
+            lookups = self.hits + self.misses
             return {
                 "plan_cache_size": len(self._plans),
                 "plan_cache_capacity": self.capacity,
                 "plan_cache_hits": self.hits,
                 "plan_cache_misses": self.misses,
+                "plan_cache_hit_rate": (
+                    round(self.hits / lookups, 4) if lookups else 0.0
+                ),
                 "plan_derives": self.derives,
             }

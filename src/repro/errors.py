@@ -22,17 +22,23 @@ class ProtocolError(ReproError):
 
 
 class ServiceOverloadedError(ReproError):
-    """Raised when the service queue is full (backpressure).
+    """Raised when the service sheds a request (backpressure).
 
     ``retry_after`` is the server's suggested delay in seconds before the
-    client retries; the wire protocol carries it in the RETRY response.
+    client retries and ``reason`` names the admission rule that rejected
+    the request (``queue-full``, ``capacity``, ``class-capacity``,
+    ``client-quota``); the wire protocol carries both in the RETRY
+    response.
     """
 
-    def __init__(self, retry_after: float = 0.05) -> None:
+    def __init__(
+        self, retry_after: float = 0.05, reason: str = "overloaded"
+    ) -> None:
         super().__init__(
-            f"service queue is full; retry after {retry_after:.3g}s"
+            f"service overloaded ({reason}); retry after {retry_after:.3g}s"
         )
         self.retry_after = float(retry_after)
+        self.reason = str(reason)
 
 
 class RemoteServiceError(ReproError):

@@ -9,6 +9,15 @@ LRU of :class:`~repro.core.plan_cache.FrozenPlan` objects keyed by
 (codec config, bound request, field signature), so warm traffic on a
 field family executes plans instead of deriving them.  See DESIGN.md §9.
 
+Admission is *cost-aware* (DESIGN.md §10): every request's work is
+predicted in units from its metadata (elements x per-codec work class,
+with a surcharge for cold plan derivation), and the service admits by
+predicted units — not request count — with ``interactive`` / ``batch``
+priority lanes and per-client token-bucket quotas.  A versioned STATS
+snapshot (``repro serve-stats``) exposes queue depth in units,
+admit/reject/retry counts by class, plan-cache hit rate, per-codec
+throughput EWMAs, and batch fill.
+
 Quickstart::
 
     # server
@@ -32,15 +41,35 @@ execution, and the same container writer, just asynchronously and with
 the derivation half cached.
 """
 
+from repro.service.admission import (
+    AdmissionController,
+    AdmissionLimits,
+    AdmissionSnapshot,
+    AdmitDecision,
+    CostModel,
+    ServiceMetrics,
+    WorkEstimate,
+    decide,
+    format_stats_line,
+)
 from repro.service.client import RemoteClient, ServiceClient
 from repro.service.scheduler import CompressionService, ServiceConfig
 from repro.service.server import ServiceServer, run_server
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionLimits",
+    "AdmissionSnapshot",
+    "AdmitDecision",
     "CompressionService",
+    "CostModel",
     "RemoteClient",
     "ServiceClient",
     "ServiceConfig",
+    "ServiceMetrics",
     "ServiceServer",
+    "WorkEstimate",
+    "decide",
+    "format_stats_line",
     "run_server",
 ]

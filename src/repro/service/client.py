@@ -13,15 +13,25 @@ Two clients, one surface:
   plain blocking TCP socket to a ``repro serve`` process.  RETRY
   responses (backpressure) raise :class:`ServiceOverloadedError` by
   default; ``retries > 0`` opts into honoring the server's
-  ``retry_after`` hint with a bounded retry loop.
+  ``retry_after`` hint with a bounded retry loop.  The retry sleep is
+  *jittered* — ``hint * (0.5 + rng.random())`` — so a burst of clients
+  rejected together does not reconverge on the server as a thundering
+  herd one hint later; each retry also re-encodes the request with a
+  bumped ``attempt`` counter, which is how the server's ``retried_*``
+  stats distinguish retries from fresh arrivals.
 
 Both expose ``compress`` / ``decompress`` / ``read`` / ``stats`` /
-``ping`` with the same signatures and are context managers.
+``ping`` with the same signatures and are context managers.  Work
+requests accept ``priority`` (``interactive`` / ``batch``) and
+``client_id`` keywords; a constructor-level ``client_id`` is the default
+identity for per-client quota accounting.
 """
 
 from __future__ import annotations
 
 import asyncio
+import os
+import random
 import socket
 import threading
 import time
@@ -47,9 +57,12 @@ def _compress_request(
     codec_kwargs: Optional[Dict],
     family: Optional[str],
     per_chunk_tuning: bool,
+    priority: str,
+    client_id: Optional[str],
 ) -> protocol.CompressRequest:
     if chunks is not None and not isinstance(chunks, int):
         chunks = tuple(chunks)
+    protocol.validate_priority(priority)
     return protocol.CompressRequest(
         data=np.asarray(data),
         codec=codec,
@@ -59,13 +72,20 @@ def _compress_request(
         chunks=chunks,
         family=family,
         per_chunk_tuning=per_chunk_tuning,
+        priority=priority,
+        client_id=client_id,
     )
 
 
 class ServiceClient:
     """In-process client: private loop thread + embedded service."""
 
-    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        client_id: Optional[str] = None,
+    ) -> None:
+        self.client_id = client_id
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(
             target=self._loop.run_forever, name="repro-service", daemon=True
@@ -91,22 +111,49 @@ class ServiceClient:
         codec_kwargs: Optional[Dict] = None,
         family: Optional[str] = None,
         per_chunk_tuning: bool = False,
+        priority: str = "interactive",
+        client_id: Optional[str] = None,
     ) -> bytes:
         req = _compress_request(
             data, codec, error_bound, rel_error_bound, chunks,
             codec_kwargs, family, per_chunk_tuning,
+            priority, client_id or self.client_id,
         )
         return self._call(self.service.handle(req))
 
-    def decompress(self, blob: bytes) -> np.ndarray:
-        return self._call(
-            self.service.handle(protocol.DecompressRequest(blob=bytes(blob)))
-        )
-
-    def read(self, source: Union[bytes, str], slab) -> np.ndarray:
+    def decompress(
+        self,
+        blob: bytes,
+        priority: str = "interactive",
+        client_id: Optional[str] = None,
+    ) -> np.ndarray:
+        protocol.validate_priority(priority)
         return self._call(
             self.service.handle(
-                protocol.ReadSlabRequest(source=source, slab=tuple(slab))
+                protocol.DecompressRequest(
+                    blob=bytes(blob),
+                    priority=priority,
+                    client_id=client_id or self.client_id,
+                )
+            )
+        )
+
+    def read(
+        self,
+        source: Union[bytes, str],
+        slab,
+        priority: str = "interactive",
+        client_id: Optional[str] = None,
+    ) -> np.ndarray:
+        protocol.validate_priority(priority)
+        return self._call(
+            self.service.handle(
+                protocol.ReadSlabRequest(
+                    source=source,
+                    slab=tuple(slab),
+                    priority=priority,
+                    client_id=client_id or self.client_id,
+                )
             )
         )
 
@@ -140,18 +187,40 @@ class RemoteClient:
         port: int = 9753,
         timeout: float = 300.0,
         retries: int = 0,
+        client_id: Optional[str] = None,
     ) -> None:
         self.host = host
         self.port = port
         self.retries = retries
+        self.client_id = client_id
+        # Per-client RNG for retry jitter.  Seeded from the OS, not the
+        # default global state: many client processes forked from one
+        # parent (the load generator, an MPI job) must not share a seed,
+        # or the jitter degenerates back into lockstep retries.
+        self._jitter_rng = random.Random(os.urandom(8))
         self._sock = socket.create_connection((host, port), timeout=timeout)
 
     # ----------------------------------------------------------------- rpc
+    def _retry_sleep(self, hint: float) -> float:
+        """Jittered backoff: sleep ``hint * (0.5 + U[0, 1))`` seconds.
+
+        Two clients rejected by the same overload event receive the same
+        ``retry_after`` hint; sleeping it verbatim would wake them in the
+        same scheduler tick and reproduce the original collision.  The
+        multiplicative jitter spreads wakeups across [0.5h, 1.5h) while
+        keeping the server's hint as the expected value.
+        """
+        delay = hint * (0.5 + self._jitter_rng.random())
+        time.sleep(delay)
+        return delay
+
     def _rpc(self, request: protocol.Request):
         op = protocol.op_for_request(request)
-        payload = protocol.frame(protocol.encode_request(request))
         attempts = self.retries + 1
         for attempt in range(attempts):
+            if hasattr(request, "attempt"):
+                request.attempt = attempt
+            payload = protocol.frame(protocol.encode_request(request))
             self._sock.sendall(payload)
             resp = protocol.decode_response(
                 protocol.read_frame_sync(self._sock), op
@@ -162,8 +231,10 @@ class RemoteClient:
                 raise RemoteServiceError(resp.message or "remote error")
             # ST_RETRY: honor the hint if the caller allowed retries
             if attempt + 1 >= attempts:
-                raise ServiceOverloadedError(resp.retry_after or 0.05)
-            time.sleep(resp.retry_after or 0.05)
+                raise ServiceOverloadedError(
+                    resp.retry_after or 0.05, resp.reason or "overloaded"
+                )
+            self._retry_sleep(resp.retry_after or 0.05)
         raise ProtocolError("unreachable")  # pragma: no cover
 
     # ----------------------------------------------------------------- api
@@ -180,19 +251,46 @@ class RemoteClient:
         codec_kwargs: Optional[Dict] = None,
         family: Optional[str] = None,
         per_chunk_tuning: bool = False,
+        priority: str = "interactive",
+        client_id: Optional[str] = None,
     ) -> bytes:
         req = _compress_request(
             data, codec, error_bound, rel_error_bound, chunks,
             codec_kwargs, family, per_chunk_tuning,
+            priority, client_id or self.client_id,
         )
         return self._rpc(req).blob
 
-    def decompress(self, blob: bytes) -> np.ndarray:
-        return self._rpc(protocol.DecompressRequest(blob=bytes(blob))).array
-
-    def read(self, source: Union[bytes, str], slab) -> np.ndarray:
+    def decompress(
+        self,
+        blob: bytes,
+        priority: str = "interactive",
+        client_id: Optional[str] = None,
+    ) -> np.ndarray:
+        protocol.validate_priority(priority)
         return self._rpc(
-            protocol.ReadSlabRequest(source=source, slab=tuple(slab))
+            protocol.DecompressRequest(
+                blob=bytes(blob),
+                priority=priority,
+                client_id=client_id or self.client_id,
+            )
+        ).array
+
+    def read(
+        self,
+        source: Union[bytes, str],
+        slab,
+        priority: str = "interactive",
+        client_id: Optional[str] = None,
+    ) -> np.ndarray:
+        protocol.validate_priority(priority)
+        return self._rpc(
+            protocol.ReadSlabRequest(
+                source=source,
+                slab=tuple(slab),
+                priority=priority,
+                client_id=client_id or self.client_id,
+            )
         ).array
 
     def stats(self) -> Dict:

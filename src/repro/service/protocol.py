@@ -21,6 +21,24 @@ the test path running identical handler code.
 Frame bodies are capped (:data:`MAX_FRAME`) so a forged length prefix
 cannot size an allocation beyond the declared limit — the same
 decode-side discipline the codec streams adopted in PR 2.
+
+Protocol v2 (this version) extends v1 with admission metadata and richer
+backpressure/observability frames:
+
+* every request body carries a *meta kv* immediately after the
+  version/opcode bytes — ``priority`` (``interactive``/``batch``),
+  ``client_id`` (per-client quota key), and ``attempt`` (0 on the first
+  send; a retrying client increments it so the server can count retried
+  admissions).  Only non-default entries are written, so the common case
+  costs two bytes;
+* RETRY responses carry a ``reason`` string after the ``retry_after``
+  hint (``queue-full`` / ``capacity`` / ``class-capacity`` /
+  ``client-quota``), so clients and dashboards can tell *why* they were
+  shed;
+* STATS responses are a flat typed kv whose layout is versioned by its
+  own ``stats_version`` key (see :mod:`repro.service.admission`) —
+  independent of the protocol version, so stats keys can evolve without
+  a wire break.
 """
 
 from __future__ import annotations
@@ -34,7 +52,10 @@ import numpy as np
 
 from repro.errors import ProtocolError
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
+
+#: admission priority classes, in scheduling order (first = served first)
+PRIORITIES = ("interactive", "batch")
 
 #: hard ceiling on one frame's body (1 GiB) — service requests carry at
 #: most one field plus small metadata; bigger fields belong in the
@@ -261,7 +282,9 @@ class CompressRequest:
 
     ``family`` opts the request into cross-field plan sharing (see
     :func:`repro.core.plan_cache.field_signature`); empty/None keeps the
-    byte-identical content-keyed default.
+    byte-identical content-keyed default.  ``priority`` / ``client_id``
+    / ``attempt`` are the admission metadata every schedulable request
+    carries (see the module docstring).
     """
 
     data: np.ndarray
@@ -272,11 +295,17 @@ class CompressRequest:
     chunks: Union[int, Tuple[int, ...], None] = None
     family: Optional[str] = None
     per_chunk_tuning: bool = False
+    priority: str = "interactive"
+    client_id: Optional[str] = None
+    attempt: int = 0
 
 
 @dataclass
 class DecompressRequest:
     blob: bytes
+    priority: str = "interactive"
+    client_id: Optional[str] = None
+    attempt: int = 0
 
 
 @dataclass
@@ -285,6 +314,9 @@ class ReadSlabRequest:
 
     source: Union[bytes, str]
     slab: Tuple[slice, ...]
+    priority: str = "interactive"
+    client_id: Optional[str] = None
+    attempt: int = 0
 
 
 @dataclass
@@ -301,18 +333,49 @@ Request = Union[
 # request encode/decode
 # --------------------------------------------------------------------------
 
-def _request_writer(op: int) -> _Writer:
+def validate_priority(priority: str) -> str:
+    if priority not in PRIORITIES:
+        raise ProtocolError(
+            f"unknown priority {priority!r} (expected one of {PRIORITIES})"
+        )
+    return priority
+
+
+def _request_writer(op: int, req: Request) -> _Writer:
+    """Version + opcode + the v2 meta kv (non-default entries only)."""
     w = _Writer()
     w.u8(PROTOCOL_VERSION)
     w.u8(op)
+    meta: Dict = {}
+    priority = getattr(req, "priority", "interactive")
+    if priority != "interactive":
+        meta["priority"] = validate_priority(priority)
+    client_id = getattr(req, "client_id", None)
+    if client_id:
+        meta["client_id"] = str(client_id)
+    attempt = int(getattr(req, "attempt", 0))
+    if attempt:
+        meta["attempt"] = attempt
+    w.kv(meta)
     return w
+
+
+def _apply_meta(req: Request, meta: Dict) -> Request:
+    if hasattr(req, "priority"):
+        req.priority = validate_priority(str(meta.get("priority", "interactive")))
+        req.client_id = str(meta["client_id"]) if meta.get("client_id") else None
+        attempt = meta.get("attempt", 0)
+        if not isinstance(attempt, int) or attempt < 0:
+            raise ProtocolError(f"bad attempt counter {attempt!r}")
+        req.attempt = attempt
+    return req
 
 
 def encode_request(req: Request) -> bytes:
     if isinstance(req, PingRequest):
-        return _request_writer(OP_PING).getvalue()
+        return _request_writer(OP_PING, req).getvalue()
     if isinstance(req, CompressRequest):
-        w = _request_writer(OP_COMPRESS)
+        w = _request_writer(OP_COMPRESS, req)
         w.string(req.codec)
         w.kv(req.codec_kwargs)
         if (req.error_bound is None) == (req.rel_error_bound is None):
@@ -343,11 +406,11 @@ def encode_request(req: Request) -> bytes:
         _pack_array(w, req.data)
         return w.getvalue()
     if isinstance(req, DecompressRequest):
-        w = _request_writer(OP_DECOMPRESS)
+        w = _request_writer(OP_DECOMPRESS, req)
         w.blob(req.blob)
         return w.getvalue()
     if isinstance(req, ReadSlabRequest):
-        w = _request_writer(OP_READ_SLAB)
+        w = _request_writer(OP_READ_SLAB, req)
         if isinstance(req.source, (bytes, bytearray, memoryview)):
             w.u8(0)
             w.blob(bytes(req.source))
@@ -357,7 +420,7 @@ def encode_request(req: Request) -> bytes:
         _pack_slab(w, req.slab)
         return w.getvalue()
     if isinstance(req, StatsRequest):
-        return _request_writer(OP_STATS).getvalue()
+        return _request_writer(OP_STATS, req).getvalue()
     raise ProtocolError(f"cannot encode request of type {type(req).__name__}")
 
 
@@ -370,6 +433,11 @@ def decode_request(body: bytes) -> Request:
             f"{PROTOCOL_VERSION})"
         )
     op = r.u8()
+    if op not in (OP_PING, OP_COMPRESS, OP_DECOMPRESS, OP_READ_SLAB, OP_STATS):
+        # validate before touching the meta kv so a bad opcode reports
+        # itself instead of a misleading truncation error
+        raise ProtocolError(f"unknown request opcode {op}")
+    meta = r.kv()
     if op == OP_PING:
         req: Request = PingRequest()
     elif op == OP_COMPRESS:
@@ -417,7 +485,7 @@ def decode_request(body: bytes) -> Request:
     else:
         raise ProtocolError(f"unknown request opcode {op}")
     r.done()
-    return req
+    return _apply_meta(req, meta)
 
 
 # --------------------------------------------------------------------------
@@ -460,9 +528,10 @@ def encode_error(message: str) -> bytes:
     return w.getvalue()
 
 
-def encode_retry(retry_after: float) -> bytes:
+def encode_retry(retry_after: float, reason: str = "overloaded") -> bytes:
     w = _response_writer(ST_RETRY)
     w.f64(retry_after)
+    w.string(reason)
     return w.getvalue()
 
 
@@ -476,6 +545,7 @@ class Response:
     mapping: Optional[Dict] = None
     message: Optional[str] = None
     retry_after: Optional[float] = None
+    reason: Optional[str] = None
 
 
 def decode_response(body: bytes, op: int) -> Response:
@@ -491,7 +561,7 @@ def decode_response(body: bytes, op: int) -> Response:
     if status == ST_ERROR:
         resp = Response(status=status, message=r.string())
     elif status == ST_RETRY:
-        resp = Response(status=status, retry_after=r.f64())
+        resp = Response(status=status, retry_after=r.f64(), reason=r.string())
     elif status == ST_OK:
         if op == OP_COMPRESS:
             resp = Response(status=status, blob=r.blob())
@@ -574,6 +644,7 @@ def op_for_request(req: Request) -> int:
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "PRIORITIES",
     "MAX_FRAME",
     "OP_PING",
     "OP_COMPRESS",
@@ -599,6 +670,7 @@ __all__ = [
     "encode_error",
     "encode_retry",
     "decode_response",
+    "validate_priority",
     "frame",
     "read_frame",
     "read_frame_sync",

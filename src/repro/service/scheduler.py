@@ -2,18 +2,32 @@
 
 The service's execution model, front to back:
 
-* Requests enter through :meth:`CompressionService.handle` and join ONE
-  bounded :class:`asyncio.Queue`.  A full queue rejects immediately with
-  :class:`ServiceOverloadedError` (carrying a suggested ``retry_after``)
-  instead of buffering unboundedly — load sheds at the door, which is
-  what keeps a compression service's memory proportional to the queue
-  bound rather than to the burst.
-* One scheduler task drains the queue.  Each cycle it takes every job
-  that is already waiting (up to ``batch_max``) and groups the compress
-  jobs by codec configuration — *per-codec batching*: all chunks of all
-  fields in a group are dispatched to the process pool as one burst, so
-  small requests from different connections share fork/IPC overhead the
-  way chunks of one big field already do.
+* Requests enter through :meth:`CompressionService.handle` and pass
+  **cost-aware admission** (:mod:`repro.service.admission`): the cost
+  model predicts the request's work units from its metadata, and the
+  admission controller checks that prediction against the work-unit
+  budget, the batch-class share, and the client's token bucket — not
+  just a job count.  A rejected request fails immediately with
+  :class:`ServiceOverloadedError` (carrying a drain-rate-derived
+  ``retry_after`` and the rejecting rule's name) instead of buffering
+  unboundedly — load sheds at the door, which keeps both memory *and
+  queueing latency* proportional to the configured budget rather than
+  to the burst.
+* Admitted jobs join one of two priority deques; the scheduler drains
+  ``interactive`` strictly ahead of ``batch``, so bulk traffic can fill
+  its share of the budget without sitting in front of latency-sensitive
+  requests.
+* One scheduler task drains the queues.  Each cycle it takes every job
+  that is already waiting (up to ``batch_max``, interactive first) and
+  groups the compress jobs by codec configuration — *per-codec
+  batching*: all chunks of all fields in a group are dispatched to the
+  process pool as one burst, so small requests from different
+  connections share fork/IPC overhead the way chunks of one big field
+  already do.
+* Every job transition (admitted / rejected / started / finished) feeds
+  the :class:`~repro.service.admission.ServiceMetrics` registry, and
+  :meth:`CompressionService.stats` snapshots it — the versioned STATS
+  frame the server, clients, and ``repro serve-stats`` render.
 * Per-field work splits into the derivation and execution halves from
   PR 3 (:mod:`repro.core.plan_cache`).  Derivation — sampling, Algorithm
   1 selection, the Eq. 5 (alpha, beta) search — is the amortizable half,
@@ -40,10 +54,11 @@ import asyncio
 import io
 import math
 import os
-from collections import OrderedDict
+import time
+from collections import OrderedDict, deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Deque, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -59,14 +74,23 @@ from repro.core.header import parse_header
 from repro.core.plan_cache import PlanLRU, field_signature, plan_cache_key
 from repro.errors import DecompressionError, ServiceOverloadedError
 from repro.parallel.executor import ChunkWorkPool, _decompress_one
+from repro.service.admission import (
+    AdmissionController,
+    AdmissionLimits,
+    CostModel,
+    ServiceMetrics,
+    WorkEstimate,
+)
 from repro.service.protocol import (
     MAX_FRAME,
+    PRIORITIES,
     CompressRequest,
     DecompressRequest,
     PingRequest,
     ReadSlabRequest,
     Request,
     StatsRequest,
+    validate_priority,
 )
 from repro.utils import validate_field_lazy
 
@@ -83,6 +107,16 @@ class ServiceConfig:
     default) refuses them outright, and a directory restricts them to
     containers under it — a remote client must never get an arbitrary
     file-read/probe primitive over the server's filesystem.
+
+    Admission knobs (see :mod:`repro.service.admission`):
+    ``max_work_units`` bounds the *predicted work* queued at once (the
+    latency budget), ``batch_share`` the fraction of it bulk-priority
+    traffic may occupy, and ``client_rate`` / ``client_burst`` the
+    per-client token-bucket quota (units/s, units) applied to requests
+    that carry a ``client_id``.  ``cost_aware=False`` degrades to the
+    PR 4 depth-only policy (single FIFO, job-count bound) — kept as a
+    measurable baseline for the load generator.  ``stats_interval`` > 0
+    makes the server log one snapshot line that often (seconds).
     """
 
     processes: int = 1
@@ -93,12 +127,22 @@ class ServiceConfig:
     io_threads: int = 4
     open_files: int = 8
     serve_root: Optional[str] = None
+    max_work_units: float = 64.0
+    batch_share: float = 0.5
+    client_rate: float = 16.0
+    client_burst: float = 48.0
+    cost_aware: bool = True
+    stats_interval: float = 0.0
 
 
 @dataclass
 class _Job:
     request: Request
     future: "asyncio.Future"
+    estimate: WorkEstimate
+    priority: str
+    enqueued: float
+    started: float = 0.0
 
 
 @dataclass
@@ -124,10 +168,23 @@ class CompressionService:
 
     def __init__(self, config: Optional[ServiceConfig] = None) -> None:
         self.config = config or ServiceConfig()
-        self._queue: "asyncio.Queue[_Job]" = asyncio.Queue(
-            maxsize=max(1, self.config.max_queue)
-        )
+        self._pending: Dict[str, "Deque[_Job]"] = {
+            cls: deque() for cls in PRIORITIES
+        }
+        self._wakeup = asyncio.Event()
         self.plans = PlanLRU(self.config.plan_cache_size)
+        self.metrics = ServiceMetrics()
+        self.cost_model = CostModel()
+        self.admission = AdmissionController(
+            AdmissionLimits(
+                max_queue_jobs=max(1, self.config.max_queue),
+                max_work_units=self.config.max_work_units,
+                batch_share=self.config.batch_share,
+                min_retry_after=self.config.retry_after,
+            ),
+            client_rate=self.config.client_rate,
+            client_burst=self.config.client_burst,
+        )
         self._pool = ChunkWorkPool(self.config.processes)
         self._threads = ThreadPoolExecutor(
             max_workers=max(2, self.config.io_threads),
@@ -137,7 +194,6 @@ class CompressionService:
             OrderedDict()
         )
         self._task: Optional[asyncio.Task] = None
-        self._counts = {"compress": 0, "decompress": 0, "read": 0, "batches": 0}
 
     # ------------------------------------------------------------ lifecycle
     async def start(self) -> None:
@@ -155,12 +211,15 @@ class CompressionService:
         # jobs the scheduler was processing when cancelled are resolved
         # by _run's CancelledError handler; here drain the still-queued
         # ones — no caller may hang on a future nobody will resolve
-        while not self._queue.empty():
-            job = self._queue.get_nowait()
-            if not job.future.done():
-                job.future.set_exception(
-                    ServiceOverloadedError(self.config.retry_after)
-                )
+        for pending in self._pending.values():
+            while pending:
+                job = pending.popleft()
+                if not job.future.done():
+                    job.future.set_exception(
+                        ServiceOverloadedError(
+                            self.config.retry_after, "shutting-down"
+                        )
+                    )
         for _, (_, cf) in self._files.items():
             cf.close()
         self._files.clear()
@@ -169,19 +228,65 @@ class CompressionService:
 
     # ------------------------------------------------------------ admission
     def submit(self, request: Request) -> "asyncio.Future":
-        """Enqueue a job; raises :class:`ServiceOverloadedError` when full.
+        """Admit and enqueue a job, or raise :class:`ServiceOverloadedError`.
 
         Admission is synchronous and non-blocking by design: the caller
         (one connection handler among many) must learn *immediately*
         whether the job was accepted, so it can push the RETRY response
-        instead of holding the connection while the queue drains.
+        instead of holding the connection while the queue drains.  The
+        decision is cost-aware — the cost model's predicted work units
+        are checked against the work budget, the batch-class share, and
+        the client's token bucket (see :mod:`repro.service.admission`).
         """
-        future = asyncio.get_running_loop().create_future()
-        try:
-            self._queue.put_nowait(_Job(request, future))
-        except asyncio.QueueFull:
-            raise ServiceOverloadedError(self.config.retry_after) from None
+        loop = asyncio.get_running_loop()
+        priority = validate_priority(
+            getattr(request, "priority", "interactive")
+        )
+        attempt = int(getattr(request, "attempt", 0))
+        client_id = getattr(request, "client_id", None)
+        estimate = self.cost_model.predict(request, self.plans)
+        decision = self.admission.try_admit(
+            estimate.units,
+            priority,
+            client_id,
+            depth_only=not self.config.cost_aware,
+        )
+        if not decision.admitted:
+            self.metrics.reject(priority, decision.reason)
+            raise ServiceOverloadedError(decision.retry_after, decision.reason)
+        self.metrics.admit(priority, attempt)
+        future = loop.create_future()
+        job = _Job(
+            request=request,
+            future=future,
+            estimate=estimate,
+            priority=priority,
+            enqueued=time.monotonic(),
+        )
+        future.add_done_callback(lambda fut, job=job: self._on_job_done(job, fut))
+        # depth-only mode is also FIFO-only: everything shares one lane,
+        # which is exactly the PR 4 behavior the load generator compares
+        # against
+        lane = priority if self.config.cost_aware else "interactive"
+        self._pending[lane].append(job)
+        self._wakeup.set()
         return future
+
+    def _on_job_done(self, job: _Job, fut: "asyncio.Future") -> None:
+        """Single exit point for admitted jobs (done/failed/cancelled)."""
+        self.admission.release(job.estimate.units, job.priority)
+        ok = (not fut.cancelled()) and fut.exception() is None
+        duration = time.monotonic() - job.started if job.started else 0.0
+        if ok and duration > 0.0:
+            self.admission.observe_drain(job.estimate.units, duration)
+        self.metrics.job_finished(
+            job.priority,
+            job.estimate.kind,
+            ok,
+            duration,
+            job.estimate.nbytes,
+            job.estimate.codec,
+        )
 
     async def handle(self, request: Request):
         """Process one request end-to-end (the in-process entry point)."""
@@ -192,31 +297,62 @@ class CompressionService:
         return await self.submit(request)
 
     def stats(self) -> Dict[str, Union[int, float]]:
+        """Structured snapshot: scheduler + admission + metrics + plans.
+
+        This is the versioned STATS frame payload (``stats_version``
+        names the layout).  Flat int/float values only — the wire format
+        is the protocol's typed kv map.
+        """
         out: Dict[str, Union[int, float]] = {
-            "queue_depth": self._queue.qsize(),
+            "queue_depth": sum(len(q) for q in self._pending.values()),
+            "queue_depth_interactive": len(self._pending["interactive"]),
+            "queue_depth_batch": len(self._pending["batch"]),
             "max_queue": self.config.max_queue,
             "batch_max": self.config.batch_max,
             "processes": self.config.processes,
+            "cost_aware": int(self.config.cost_aware),
             "open_containers": len(self._files),
-            "jobs_compress": self._counts["compress"],
-            "jobs_decompress": self._counts["decompress"],
-            "jobs_read": self._counts["read"],
-            "batches": self._counts["batches"],
         }
+        out.update(self.metrics.snapshot())
+        out.update(self.admission.stats())
         out.update(self.plans.stats())
         return out
 
     # ------------------------------------------------------------ scheduler
+    async def _collect_batch(self) -> List[_Job]:
+        """Up to ``batch_max`` waiting jobs, interactive strictly first.
+
+        In cost-aware mode at most ONE batch-lane job rides per dispatch
+        group: a group is executed to completion before the lanes are
+        consulted again, so every batch job in it is head-of-line delay
+        for any interactive request that arrives mid-group.  Capping the
+        batch lane at one bounds that delay to a single batch job's
+        service time — the same worst case an unsaturated service has —
+        at no throughput cost (an empty interactive lane just yields
+        back-to-back one-job groups).
+        """
+        while True:
+            batch: List[_Job] = []
+            for cls in PRIORITIES:
+                limit = self.config.batch_max
+                if cls == "batch" and self.config.cost_aware:
+                    limit = min(limit, len(batch) + 1)
+                pending = self._pending[cls]
+                while pending and len(batch) < limit:
+                    batch.append(pending.popleft())
+            if batch:
+                return batch
+            self._wakeup.clear()
+            await self._wakeup.wait()
+
     async def _run(self) -> None:
         while True:
-            job = await self._queue.get()
-            batch = [job]
-            while len(batch) < self.config.batch_max:
-                try:
-                    batch.append(self._queue.get_nowait())
-                except asyncio.QueueEmpty:
-                    break
-            self._counts["batches"] += 1
+            batch = await self._collect_batch()
+            now = time.monotonic()
+            for job in batch:
+                job.started = now
+                self.metrics.job_started(job.priority, now - job.enqueued)
+            self.metrics.batch_dispatched(len(batch), self.config.batch_max)
             try:
                 await self._run_batch(batch)
             except asyncio.CancelledError:
@@ -225,7 +361,9 @@ class CompressionService:
                 for j in batch:
                     if not j.future.done():
                         j.future.set_exception(
-                            ServiceOverloadedError(self.config.retry_after)
+                            ServiceOverloadedError(
+                                self.config.retry_after, "shutting-down"
+                            )
                         )
                 raise
             except Exception as exc:  # last resort: fail the batch's jobs,
@@ -300,7 +438,6 @@ class CompressionService:
                 await self._guard(
                     job, self._compress_inprocess(job.request, prep)
                 )
-        self._counts["compress"] += sum(p is not None for p in prepared)
 
     def _prepare_compress(self, req: CompressRequest) -> _PreparedCompress:
         """Blocking half: validate, resolve the bound, get/derive the plan."""
@@ -417,10 +554,8 @@ class CompressionService:
         req = job.request
         if isinstance(req, DecompressRequest):
             await self._guard(job, self._decompress(req))
-            self._counts["decompress"] += 1
         elif isinstance(req, ReadSlabRequest):
             await self._guard(job, self._read_slab(req))
-            self._counts["read"] += 1
         else:
             if not job.future.done():
                 job.future.set_exception(

@@ -6,12 +6,19 @@ concurrency comes from having many connections, which is how the shared
 scheduler queue sees interleaved traffic to batch).  Errors are mapped to
 protocol responses at this boundary:
 
-* :class:`ServiceOverloadedError` -> RETRY with the suggested delay —
-  the *normal* outcome under burst load, not a failure;
+* :class:`ServiceOverloadedError` -> RETRY with the suggested delay and
+  the rejecting admission rule's name — the *normal* outcome under
+  burst load, not a failure;
 * any :class:`ReproError` / ``ValueError`` / ``KeyError`` / ``OSError``
   -> ERROR with a one-line message (tracebacks stay server-side);
 * a malformed frame -> ERROR, then the connection is dropped (framing
   can no longer be trusted).
+
+With ``stats_interval`` > 0 in the service config the server also logs
+one compact snapshot line per interval (queue depth in work units,
+admit / reject counts, plan-cache hit rate, batch fill, drain rate) —
+rendered from the same snapshot dict the STATS frame serves, so a log
+line and a ``repro serve-stats`` table never disagree.
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ from repro.errors import (
     ServiceOverloadedError,
 )
 from repro.service import protocol
+from repro.service.admission import format_stats_line
 from repro.service.scheduler import CompressionService, ServiceConfig
 
 
@@ -43,6 +51,7 @@ class ServiceServer:
         self.host = host
         self.port = port  # 0 = pick a free port; updated once listening
         self._server: Optional[asyncio.AbstractServer] = None
+        self._stats_task: Optional[asyncio.Task] = None
 
     async def start(self) -> None:
         await self.service.start()
@@ -50,8 +59,20 @@ class ServiceServer:
             self._handle_connection, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        interval = getattr(self.service.config, "stats_interval", 0.0)
+        if interval and interval > 0:
+            self._stats_task = asyncio.ensure_future(
+                self._log_stats_periodically(float(interval))
+            )
 
     async def close(self) -> None:
+        if self._stats_task is not None:
+            self._stats_task.cancel()
+            try:
+                await self._stats_task
+            except asyncio.CancelledError:
+                pass
+            self._stats_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -63,8 +84,14 @@ class ServiceServer:
         async with self._server:
             await self._server.serve_forever()
 
+    async def _log_stats_periodically(self, interval: float) -> None:
+        while True:
+            await asyncio.sleep(interval)
+            print(format_stats_line(self.service.stats()), flush=True)
+
     # ------------------------------------------------------------- plumbing
     async def _handle_connection(self, reader, writer) -> None:
+        self.service.metrics.connection_opened()
         try:
             while True:
                 try:
@@ -86,6 +113,7 @@ class ServiceServer:
             # from logging the retrieved CancelledError at close
             pass
         finally:
+            self.service.metrics.connection_closed()
             writer.close()
             try:
                 await writer.wait_closed()
@@ -104,7 +132,7 @@ class ServiceServer:
         try:
             result = await self.service.handle(request)
         except ServiceOverloadedError as exc:
-            return protocol.encode_retry(exc.retry_after)
+            return protocol.encode_retry(exc.retry_after, exc.reason)
         except Exception as exc:
             # this is THE error-mapping boundary: anything a handler can
             # raise (ReproError, KeyError, OSError, MemoryError, ...)

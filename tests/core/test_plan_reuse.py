@@ -183,3 +183,97 @@ class TestFrozenPlanObject:
         plan = QoZ(metric="cr").derive_plan(mm, rel_error_bound=1e-3)
         ref = QoZ(metric="cr").derive_plan(data, rel_error_bound=1e-3)
         assert plan == ref
+
+
+class TestPlanLRU:
+    """Eviction order and hit/miss accounting of the service plan cache."""
+
+    @staticmethod
+    def plan(tag):
+        return FrozenPlan(codec="qoz", eb=1e-3, interpolators={1: (0, 0)},
+                          metric=tag)
+
+    @staticmethod
+    def key(sig):
+        from repro.core.plan_cache import plan_cache_key
+
+        return plan_cache_key("qoz", {}, "rel", 1e-3, sig)
+
+    def keys(self):
+        """Interleaved family- and content-signature keys."""
+        from repro.core.plan_cache import field_signature
+
+        fields = [np.full((4, 4), float(i), dtype=np.float32)
+                  for i in range(4)]
+        sigs = []
+        for i, data in enumerate(fields):
+            sigs.append(field_signature(data, family=f"fam{i}"))
+            sigs.append(field_signature(data))  # content-hash key
+        return [self.key(s) for s in sigs]
+
+    def test_eviction_is_least_recently_used(self):
+        from repro.core.plan_cache import PlanLRU
+
+        cache = PlanLRU(capacity=4)
+        keys = self.keys()[:5]
+        for i, k in enumerate(keys[:4]):
+            cache.put(k, self.plan(str(i)))
+        # touch key 0 (a get counts as use); key 1 becomes LRU
+        assert cache.get(keys[0]).metric == "0"
+        cache.put(keys[4], self.plan("4"))
+        assert len(cache) == 4
+        assert cache.get(keys[1]) is None  # evicted
+        for k, tag in ((keys[0], "0"), (keys[2], "2"),
+                       (keys[3], "3"), (keys[4], "4")):
+            assert cache.get(k).metric == tag
+
+    def test_family_and_content_keys_never_alias(self):
+        from repro.core.plan_cache import PlanLRU
+
+        cache = PlanLRU(capacity=16)
+        keys = self.keys()
+        assert len(set(keys)) == len(keys)
+        for i, k in enumerate(keys):
+            cache.put(k, self.plan(str(i)))
+        for i, k in enumerate(keys):
+            assert cache.get(k).metric == str(i)
+
+    def test_hit_miss_counters_exact(self):
+        from repro.core.plan_cache import PlanLRU
+
+        cache = PlanLRU(capacity=2)
+        k_fam, k_content, k_other = self.keys()[:3]
+        assert cache.get(k_fam) is None  # miss 1
+        cache.put(k_fam, self.plan("a"))
+        assert cache.get(k_fam) is not None  # hit 1
+        assert cache.get(k_content) is None  # miss 2
+        cache.get_or_derive(k_content, lambda: self.plan("b"))  # miss 3 + derive
+        cache.get_or_derive(k_content, lambda: self.plan("x"))  # hit 2
+        cache.put(k_other, self.plan("c"))  # evicts k_fam (LRU)
+        assert cache.get(k_fam) is None  # miss 4
+        s = cache.stats()
+        assert s["plan_cache_hits"] == 2
+        assert s["plan_cache_misses"] == 4
+        assert s["plan_derives"] == 1
+        assert s["plan_cache_hit_rate"] == pytest.approx(2 / 6, abs=1e-4)
+
+    def test_peek_has_no_side_effects(self):
+        from repro.core.plan_cache import PlanLRU
+
+        cache = PlanLRU(capacity=2)
+        k0, k1, k2 = self.keys()[:3]
+        cache.put(k0, self.plan("0"))
+        cache.put(k1, self.plan("1"))
+        before = cache.stats()
+        assert cache.peek(k0).metric == "0"
+        assert cache.peek(k2) is None
+        assert cache.stats() == before  # counters untouched
+        # peeking k0 must NOT have refreshed its recency: k0 is still LRU
+        cache.put(k2, self.plan("2"))
+        assert cache.peek(k0) is None
+        assert cache.peek(k1) is not None
+
+    def test_hit_rate_zero_before_any_lookup(self):
+        from repro.core.plan_cache import PlanLRU
+
+        assert PlanLRU().stats()["plan_cache_hit_rate"] == 0.0

@@ -161,9 +161,12 @@ class TestBombProofing:
             p.decode_request(body)
 
     def test_forged_blob_length_cannot_allocate(self):
-        # u8 version, u8 op, u64 blob length claiming 2**60 bytes
-        body = bytes([p.PROTOCOL_VERSION, p.OP_DECOMPRESS]) + struct.pack(
-            "<Q", 1 << 60
+        # u8 version, u8 op, empty meta kv, u64 blob length claiming
+        # 2**60 bytes
+        body = (
+            bytes([p.PROTOCOL_VERSION, p.OP_DECOMPRESS])
+            + struct.pack("<H", 0)
+            + struct.pack("<Q", 1 << 60)
         )
         with pytest.raises(ProtocolError):
             p.decode_request(body)
@@ -174,6 +177,7 @@ class TestBombProofing:
         w = p._Writer()
         w.u8(p.PROTOCOL_VERSION)
         w.u8(p.OP_COMPRESS)
+        w.kv({})  # v2 request meta (priority/client_id/attempt)
         w.string("qoz")
         w.kv({})
         w.u8(0)
@@ -191,3 +195,81 @@ class TestBombProofing:
     def test_frame_cap_enforced_on_encode(self):
         with pytest.raises(ProtocolError):
             p.frame(b"x" * (p.MAX_FRAME + 1))
+
+
+class TestRequestMeta:
+    """v2 meta (priority / client_id / attempt) rides every work request."""
+
+    def test_meta_roundtrips_on_compress(self):
+        req = p.CompressRequest(
+            data=np.zeros(4, dtype=np.float32), error_bound=1.0,
+            priority="batch", client_id="sim-07", attempt=3,
+        )
+        out = roundtrip_request(req)
+        assert out.priority == "batch"
+        assert out.client_id == "sim-07"
+        assert out.attempt == 3
+
+    def test_meta_roundtrips_on_decompress_and_read(self):
+        out = roundtrip_request(
+            p.DecompressRequest(blob=b"abc", priority="batch",
+                                client_id="c1", attempt=1)
+        )
+        assert (out.priority, out.client_id, out.attempt) == ("batch", "c1", 1)
+        out = roundtrip_request(
+            p.ReadSlabRequest(source=b"xyz", slab=(slice(0, 2),),
+                              priority="batch", client_id="c2")
+        )
+        assert (out.priority, out.client_id) == ("batch", "c2")
+
+    def test_default_meta_adds_no_bytes(self):
+        # defaults are omitted from the wire: an all-default request
+        # carries an empty meta kv, not three redundant entries
+        plain = p.encode_request(p.DecompressRequest(blob=b"abc"))
+        tagged = p.encode_request(
+            p.DecompressRequest(blob=b"abc", priority="batch",
+                                client_id="c", attempt=1)
+        )
+        assert len(plain) < len(tagged)
+        out = p.decode_request(plain)
+        assert out.priority == "interactive"
+        assert out.client_id is None
+        assert out.attempt == 0
+
+    def test_invalid_priority_rejected_on_both_sides(self):
+        req = p.DecompressRequest(blob=b"abc")
+        req.priority = "urgent"
+        with pytest.raises(ProtocolError, match="priority"):
+            p.encode_request(req)  # never leaves the client
+        w = p._Writer()  # ... and a forged body never enters the server
+        w.u8(p.PROTOCOL_VERSION)
+        w.u8(p.OP_DECOMPRESS)
+        w.kv({"priority": "urgent"})
+        w.blob(b"abc")
+        with pytest.raises(ProtocolError, match="priority"):
+            p.decode_request(w.getvalue())
+
+    def test_validate_priority(self):
+        p.validate_priority("interactive")
+        p.validate_priority("batch")
+        with pytest.raises(ProtocolError, match="priority"):
+            p.validate_priority("bulk")
+
+    def test_negative_attempt_rejected(self):
+        req = p.DecompressRequest(blob=b"abc")
+        req.attempt = -1
+        with pytest.raises(ProtocolError):
+            p.decode_request(p.encode_request(req))
+
+
+class TestRetryReason:
+    def test_retry_response_carries_reason(self):
+        body = p.encode_retry(0.75, "class-capacity")
+        resp = p.decode_response(body, p.OP_PING)
+        assert resp.status == p.ST_RETRY
+        assert resp.retry_after == 0.75
+        assert resp.reason == "class-capacity"
+
+    def test_retry_reason_defaults_to_overloaded(self):
+        resp = p.decode_response(p.encode_retry(0.1), p.OP_PING)
+        assert resp.reason == "overloaded"

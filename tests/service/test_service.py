@@ -322,3 +322,142 @@ class TestStats:
             assert key in stats, key
         assert stats["max_queue"] == 64
         assert stats["jobs_compress"] > 0
+
+
+class TestRetryJitter:
+    """Two clients rejected together must not wake up together.
+
+    A fake server answers every request with the same RETRY hint; the
+    clients' retry sleeps are captured instead of slept.  Each sleep must
+    be the hint times a factor in [0.5, 1.5), and two independent clients
+    must draw *distinct* delays — the thundering-herd fix.
+    """
+
+    HINT = 0.2
+
+    @pytest.fixture()
+    def retry_server(self):
+        import socket
+        import threading
+
+        from repro.service import protocol
+
+        srv = socket.create_server(("127.0.0.1", 0))
+        port = srv.getsockname()[1]
+        stop = threading.Event()
+        reply = protocol.frame(protocol.encode_retry(self.HINT, "capacity"))
+
+        def serve():
+            srv.settimeout(0.2)
+            conns = []
+            while not stop.is_set():
+                try:
+                    conn, _ = srv.accept()
+                except socket.timeout:
+                    continue
+                conns.append(conn)
+                threading.Thread(
+                    target=self._serve_conn, args=(conn, reply, stop),
+                    daemon=True,
+                ).start()
+            for conn in conns:
+                conn.close()
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        yield port
+        stop.set()
+        thread.join(timeout=5)
+        srv.close()
+
+    @staticmethod
+    def _serve_conn(conn, reply, stop):
+        from repro.errors import ProtocolError
+        from repro.service import protocol
+
+        conn.settimeout(1.0)
+        while not stop.is_set():
+            try:
+                protocol.read_frame_sync(conn)
+            except (ProtocolError, OSError):
+                return
+            conn.sendall(reply)
+
+    def test_rejected_clients_wake_at_distinct_times(
+        self, retry_server, monkeypatch
+    ):
+        import time as time_module
+
+        from repro.service import RemoteClient
+
+        sleeps = []
+        monkeypatch.setattr(
+            time_module, "sleep", lambda s: sleeps.append(s)
+        )
+        per_client = []
+        for _ in range(2):
+            with RemoteClient(port=retry_server, retries=3) as client:
+                before = len(sleeps)
+                with pytest.raises(ServiceOverloadedError) as exc_info:
+                    client.ping()
+                per_client.append(sleeps[before:])
+                assert exc_info.value.retry_after == pytest.approx(self.HINT)
+                assert exc_info.value.reason == "capacity"
+        for client_sleeps in per_client:
+            assert len(client_sleeps) == 3  # retries, then gave up
+            for s in client_sleeps:
+                assert 0.5 * self.HINT <= s < 1.5 * self.HINT
+        # the herd fix: independent clients draw different delays
+        assert per_client[0] != per_client[1]
+
+    def test_retry_exhaustion_carries_reason(self, retry_server, monkeypatch):
+        import time as time_module
+
+        from repro.service import RemoteClient
+
+        monkeypatch.setattr(time_module, "sleep", lambda s: None)
+        with RemoteClient(port=retry_server, retries=0) as client:
+            with pytest.raises(ServiceOverloadedError, match="capacity"):
+                client.ping()
+
+
+class TestPriorityAndQuota:
+    def test_bad_priority_rejected_client_side(self, svc):
+        with pytest.raises(Exception, match="priority"):
+            svc.compress(smooth3d((8, 8, 8)), codec="zfp",
+                         error_bound=1e-3, priority="urgent")
+
+    def test_batch_priority_roundtrips(self, svc):
+        data = smooth3d((16, 16, 16), seed=5)
+        blob = svc.compress(data, codec="zfp", error_bound=1e-3,
+                            priority="batch", client_id="tests")
+        recon = svc.decompress(blob, priority="batch", client_id="tests")
+        assert np.abs(recon - data).max() <= 1e-3
+        stats = svc.stats()
+        assert stats["admitted_batch"] >= 2
+        assert stats["quota_clients_tracked"] >= 1
+
+
+class TestStatsSchema:
+    def test_versioned_snapshot_keys(self, svc):
+        svc.ping()
+        stats = svc.stats()
+        assert stats["stats_version"] == 1
+        for key in (
+            "uptime_s", "queue_units_interactive", "queue_units_batch",
+            "work_capacity_units", "batch_share", "drain_rate_units_s",
+            "admitted_interactive", "rejected_interactive",
+            "retried_interactive", "completed_interactive",
+            "admitted_batch", "rejected_batch", "retried_batch",
+            "batch_fill_ewma", "plan_cache_hit_rate", "cost_aware",
+            "queue_depth_interactive", "queue_depth_batch",
+            "connections_total", "connections_open",
+        ):
+            assert key in stats, key
+        assert all(isinstance(v, (int, float)) for v in stats.values())
+
+    def test_stats_line_renders_live_snapshot(self, svc):
+        from repro.service import format_stats_line
+
+        line = format_stats_line(svc.stats())
+        assert line.startswith("repro service stats: v=1 ")
