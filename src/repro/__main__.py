@@ -249,6 +249,12 @@ def _cmd_serve_stats(args) -> int:
         return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.lint.cli import main as lint_main
+
+    return lint_main(args.rest)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -350,11 +356,29 @@ def build_parser() -> argparse.ArgumentParser:
     ss.add_argument("--watch", type=float, default=0.0, metavar="SECONDS",
                     help="re-fetch and re-render every N seconds")
     ss.set_defaults(func=_cmd_serve_stats)
+
+    # `repro lint` owns its full option surface in repro.lint.cli (so the
+    # linter is usable standalone); this stub just forwards everything
+    lnt = sub.add_parser(
+        "lint",
+        add_help=False,
+        help="run reprolint, the AST-based invariant checker (see "
+             "'repro lint --help')",
+    )
+    lnt.add_argument("rest", nargs=argparse.REMAINDER)
+    lnt.set_defaults(func=_cmd_lint)
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    raw = list(sys.argv[1:] if argv is None else argv)
+    if raw and raw[0] == "lint":
+        # dispatch before argparse: nargs=REMAINDER cannot forward a
+        # leading option like `repro lint --no-baseline src` (bpo-17050)
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(raw[1:])
+    args = build_parser().parse_args(raw)
     try:
         return args.func(args)
     except (ReproError, KeyError, OSError, ValueError) as exc:

@@ -138,7 +138,7 @@ class SZ2(Compressor):
         writer.write_array(use_reg.astype(np.uint64), 1)
         sections = [
             writer.getvalue(),
-            compress_bytes(coeffs.tobytes()),
+            compress_bytes(coeffs.astype("<f4", copy=False).tobytes()),
             encode_symbol_stream(codes),
             compress_floats_lossless(outliers.astype(data.dtype)),
         ]
@@ -170,7 +170,7 @@ class SZ2(Compressor):
             raise DecompressionError(
                 "SZ2 regression coefficients contradict the block flags"
             )
-        coeffs = np.frombuffer(coeff_bytes, dtype=np.float32).reshape(-1, nd + 1)
+        coeffs = np.frombuffer(coeff_bytes, dtype="<f4").reshape(-1, nd + 1)
         codes = decode_symbol_stream(sections[2], max_size=n_points)
         outliers = decompress_floats_lossless(
             sections[3], max_values=n_points

@@ -30,7 +30,7 @@ import hashlib
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, Optional, Tuple
+from typing import Callable, Dict, Hashable, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -70,7 +70,7 @@ class FrozenPlan:
             return self.interpolators[level]
         return self.interpolators[max(self.interpolators)]
 
-    def max_level(self, shape) -> int:
+    def max_level(self, shape: Sequence[int]) -> int:
         """Top interpolation level for a concrete array shape."""
         if self.anchor_stride:
             return min(
@@ -80,7 +80,10 @@ class FrozenPlan:
         return max_level_for_shape(shape)
 
     def build_interp_plan(
-        self, shape, eb: float, cast_dtype=np.float64
+        self,
+        shape: Sequence[int],
+        eb: float,
+        cast_dtype: "np.dtype[np.generic] | type" = np.float64,
     ) -> Tuple[InterpPlan, int]:
         """Expand into a concrete engine plan for one array shape.
 

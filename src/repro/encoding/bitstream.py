@@ -68,7 +68,9 @@ class BitWriter:
         self._pending_bits.append(nbits)
         self._total_bits += nbits
 
-    def write_array(self, values: np.ndarray, nbits) -> None:
+    def write_array(
+        self, values: np.ndarray, nbits: "int | np.integer | np.ndarray"
+    ) -> None:
         """Write many unsigned integers.
 
         ``nbits`` may be a scalar (same width for all) or a per-element
@@ -181,7 +183,9 @@ class BitReader:
             self._wins = W
         return W
 
-    def _extract(self, starts: np.ndarray, widths) -> np.ndarray:
+    def _extract(
+        self, starts: np.ndarray, widths: "int | np.ndarray"
+    ) -> np.ndarray:
         """Fields of ``widths`` (<= 33) bits at sorted bit positions
         ``starts``.
 
@@ -262,7 +266,11 @@ class BitReader:
         if count == 0:
             return np.zeros(0, dtype=np.uint64)
         if nbits == 0:
-            return np.zeros(count, dtype=np.uint64)
+            # zero-width symbols consume no stream bits, so the usual
+            # need<=remaining backstop does not apply; every in-tree call
+            # site passes a count derived from an already-validated
+            # header quantity or an actual read
+            return np.zeros(count, dtype=np.uint64)  # reprolint: disable=RL001
         need = count * nbits
         if need > self.remaining:
             raise DecompressionError("bit stream exhausted")

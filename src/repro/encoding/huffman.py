@@ -161,6 +161,9 @@ class HuffmanCode:
             reps = np.int64(1) << (t - lens_s)
             starts = (self.codes[short].astype(np.int64)) << (t - lens_s)
             order = np.argsort(starts, kind="stable")
+            # each short code owns 2^(t-len) consecutive table rows, so
+            # the repeats can never exceed the 2^t-entry table
+            assert int(reps.sum()) <= size
             table_sym = np.repeat(short[order].astype(np.int64), reps[order])
             table_len = np.repeat(lengths[short][order], reps[order])
             if table_sym.size != size:  # gaps only if long codes exist

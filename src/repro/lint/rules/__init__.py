@@ -1,0 +1,37 @@
+"""The reprolint rule set — one module per invariant family."""
+
+from __future__ import annotations
+
+from typing import Tuple, Type
+
+from ..engine import Rule
+from .async_purity import AsyncPurityRule
+from .bounded_decode import BoundedDecodeRule
+from .endianness import ExplicitEndiannessRule
+from .error_handling import BroadExceptRule
+from .pickle_guard import PickleGuardRule
+from .plan_immutability import FrozenPlanPurityRule, ServiceStateDisciplineRule
+from .wire_format import WireFormatRule
+
+ALL_RULES: Tuple[Type[Rule], ...] = (
+    BoundedDecodeRule,  # RL001
+    AsyncPurityRule,  # RL002
+    WireFormatRule,  # RL003
+    FrozenPlanPurityRule,  # RL004
+    ServiceStateDisciplineRule,  # RL005
+    BroadExceptRule,  # RL006
+    ExplicitEndiannessRule,  # RL007
+    PickleGuardRule,  # RL008
+)
+
+__all__ = [
+    "ALL_RULES",
+    "AsyncPurityRule",
+    "BoundedDecodeRule",
+    "BroadExceptRule",
+    "ExplicitEndiannessRule",
+    "FrozenPlanPurityRule",
+    "PickleGuardRule",
+    "ServiceStateDisciplineRule",
+    "WireFormatRule",
+]

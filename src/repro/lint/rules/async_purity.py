@@ -1,0 +1,107 @@
+"""RL002 — nothing blocks the service event loop (PR 4 contract).
+
+The compression service is a single asyncio loop; one ``time.sleep`` or
+synchronous ``Future.result()`` inside an ``async def`` stalls every
+connection at once.  PR 4 moved all CPU work to executor threads and all
+waiting to awaitables — this rule keeps it that way.
+
+Flags, only inside ``async def`` bodies in the scoped modules:
+
+* ``time.sleep(...)``
+* any ``subprocess.*`` call, ``os.system``, ``os.popen``, ``os.wait*``
+* the ``open(...)`` builtin (file I/O belongs in an executor)
+* zero-argument ``.result()`` (a blocking ``concurrent.futures`` wait;
+  await the future instead)
+* blocking socket operations: ``socket.create_connection`` and method
+  calls named ``recv``/``recv_into``/``recvfrom``/``sendall``/
+  ``accept``/``connect``
+
+``await``-ed expressions are exempt by construction (awaitables are the
+fix, not the bug), and nested *sync* ``def`` helpers inside an async
+function are not flagged — they run wherever they are called from.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set
+
+from ..engine import Finding, ModuleContext, Rule, dotted_name
+
+__all__ = ["AsyncPurityRule"]
+
+_BLOCKING_DOTTED = {
+    "time.sleep",
+    "os.system",
+    "os.popen",
+    "os.wait",
+    "os.waitpid",
+    "socket.create_connection",
+}
+_BLOCKING_PREFIXES = ("subprocess.",)
+_BLOCKING_METHODS = {
+    "recv",
+    "recv_into",
+    "recvfrom",
+    "sendall",
+    "accept",
+    "connect",
+}
+
+
+class AsyncPurityRule(Rule):
+    rule_id = "RL002"
+    name = "async-blocking"
+    description = "no blocking calls inside async def in service modules"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._check_async(ctx, node)
+
+    def _walk_sync_body(self, func: ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+        """Walk the async function without descending into nested defs
+        or into Await expressions (awaited calls are non-blocking)."""
+        stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+        while stack:
+            node = stack.pop()
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Await)
+            ):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _check_async(
+        self, ctx: ModuleContext, func: ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        for node in self._walk_sync_body(func):
+            if not isinstance(node, ast.Call):
+                continue
+            reason = self._blocking_reason(node)
+            if reason:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{reason} inside 'async def {func.name}' blocks the "
+                    f"event loop; move it to an executor or await an "
+                    f"async equivalent",
+                )
+
+    def _blocking_reason(self, call: ast.Call) -> str:
+        name = dotted_name(call.func)
+        if name:
+            if name in _BLOCKING_DOTTED:
+                return f"blocking call {name}()"
+            if name.startswith(_BLOCKING_PREFIXES):
+                return f"subprocess call {name}()"
+            if name == "open":
+                return "blocking file open()"
+        if isinstance(call.func, ast.Attribute):
+            attr = call.func.attr
+            if attr == "result" and not call.args and not call.keywords:
+                return "synchronous Future.result()"
+            if attr in _BLOCKING_METHODS:
+                base = dotted_name(call.func.value) or "<expr>"
+                return f"blocking socket call {base}.{attr}()"
+        return ""

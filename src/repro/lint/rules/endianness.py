@@ -1,0 +1,133 @@
+"""RL007 — serialized multi-byte dtypes carry an explicit byte order.
+
+``np.frombuffer(raw, dtype=np.uint32)`` means *native* byte order: the
+same stream decodes differently on a big-endian host, silently breaking
+byte-identical replay.  Serialization code must spell the contract out —
+``dtype="<u4"`` — so the bytes mean one thing everywhere.  (``"<u4"``
+is byte-identical to ``np.uint32`` on the little-endian machines CI
+runs on, so adopting the rule never changes existing streams.)
+
+Flags, in serialization-scoped modules:
+
+* ``np.frombuffer(..., dtype=D)`` where ``D`` is a multi-byte numpy
+  alias (``np.uint32``, ``np.float64``, ...) or a dtype string without
+  a ``<``/``>``/``=`` prefix;
+* ``x.astype(D).tobytes()`` chains with the same unordered ``D`` —
+  the astype feeds the wire directly, so it fixes the layout.
+
+Single-byte dtypes (``uint8``/``int8``/``bool_``) have no byte order
+and are exempt; dtype expressions that are runtime values (a variable,
+a dtype parsed from the stream itself) are skipped — the checked wire
+string is the contract there.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..engine import Finding, ModuleContext, Rule, call_args_with_keyword, dotted_name
+
+__all__ = ["ExplicitEndiannessRule"]
+
+_MULTIBYTE_ALIASES = {
+    "uint16",
+    "uint32",
+    "uint64",
+    "int16",
+    "int32",
+    "int64",
+    "float16",
+    "float32",
+    "float64",
+    "complex64",
+    "complex128",
+    "intp",
+    "uintp",
+}
+_SINGLEBYTE = {"uint8", "int8", "bool_", "byte", "ubyte"}
+_MULTIBYTE_STRINGS = {
+    "u2", "u4", "u8", "i2", "i4", "i8", "f2", "f4", "f8", "c8", "c16",
+} | _MULTIBYTE_ALIASES
+
+
+def _unordered_dtype(node: ast.expr) -> Optional[str]:
+    """The unordered multi-byte dtype this expression names, or None."""
+    name = dotted_name(node)
+    if name:
+        parts = name.split(".")
+        if parts[0] in ("np", "numpy") and len(parts) == 2:
+            if parts[1] in _MULTIBYTE_ALIASES:
+                return name
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        s = node.value
+        if s.startswith(("<", ">", "=", "|")):
+            return None
+        if s in _MULTIBYTE_STRINGS:
+            return s
+    return None
+
+
+class ExplicitEndiannessRule(Rule):
+    rule_id = "RL007"
+    name = "explicit-endianness"
+    description = (
+        "frombuffer/astype-to-wire in serialization code must use "
+        "explicit little-endian dtype strings"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            yield from self._check_frombuffer(ctx, node)
+            yield from self._check_astype_tobytes(ctx, node)
+
+    def _check_frombuffer(
+        self, ctx: ModuleContext, node: ast.Call
+    ) -> Iterator[Finding]:
+        fname = dotted_name(node.func) or ""
+        parts = fname.split(".")
+        if parts[-1] != "frombuffer" or parts[0] not in ("np", "numpy"):
+            return
+        dtype_arg = call_args_with_keyword(node, 1, "dtype")
+        if dtype_arg is None:
+            return
+        bad = _unordered_dtype(dtype_arg)
+        if bad:
+            yield self.finding(
+                ctx,
+                node,
+                f"np.frombuffer with byte-order-ambiguous dtype {bad!r}; "
+                f"use an explicit little-endian string (e.g. '<u4') so the "
+                f"stream decodes identically on every host",
+            )
+
+    def _check_astype_tobytes(
+        self, ctx: ModuleContext, node: ast.Call
+    ) -> Iterator[Finding]:
+        # matches x.astype(D).tobytes()
+        if not (
+            isinstance(node.func, ast.Attribute) and node.func.attr == "tobytes"
+        ):
+            return
+        inner = node.func.value
+        if not (
+            isinstance(inner, ast.Call)
+            and isinstance(inner.func, ast.Attribute)
+            and inner.func.attr == "astype"
+        ):
+            return
+        dtype_arg = call_args_with_keyword(inner, 0, "dtype")
+        if dtype_arg is None:
+            return
+        bad = _unordered_dtype(dtype_arg)
+        if bad:
+            yield self.finding(
+                ctx,
+                inner,
+                f".astype({bad}).tobytes() serializes native byte order; "
+                f"use an explicit little-endian string (e.g. '<u4') for "
+                f"the wire",
+            )

@@ -1,0 +1,84 @@
+"""RL006 — no silently-swallowed broad excepts (worker/_respond contract).
+
+The service worker and ``_respond`` paths are allowed to catch
+``Exception`` — but only to *convert* it: into an error frame on the
+wire (``encode_error``/``encode_retry``) or onto the job's future
+(``set_exception``), or to re-raise after cleanup.  A broad except whose
+handler does none of those swallows the failure, and the client hangs or
+the STATS counters stop reconciling.
+
+Flags ``except:``, ``except Exception``, and ``except BaseException``
+(bare or inside a tuple) whose handler body contains neither a ``raise``
+nor a conversion call.  Narrow handlers (``except ReproError``,
+``except (OSError, ValueError)``) are always fine — catching what you
+can actually handle is the fix this rule pushes toward.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List
+
+from ..engine import Finding, ModuleContext, Rule, dotted_name
+
+__all__ = ["BroadExceptRule"]
+
+_BROAD = {"Exception", "BaseException"}
+_CONVERT_RE = re.compile(r"^(encode_error|encode_retry|set_exception)$")
+
+
+def _broad_name(type_node: ast.expr) -> str:
+    """The broad exception name this handler catches, or ''."""
+    candidates: List[ast.expr]
+    if isinstance(type_node, ast.Tuple):
+        candidates = list(type_node.elts)
+    else:
+        candidates = [type_node]
+    for cand in candidates:
+        name = dotted_name(cand) or ""
+        last = name.rsplit(".", 1)[-1]
+        if last in _BROAD:
+            return last
+    return ""
+
+
+class BroadExceptRule(Rule):
+    rule_id = "RL006"
+    name = "broad-except-conversion"
+    description = (
+        "broad except clauses must re-raise or convert to an error "
+        "frame/future exception"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                caught = "bare except"
+            else:
+                broad = _broad_name(node.type)
+                if not broad:
+                    continue
+                caught = f"except {broad}"
+            if self._handler_converts(node):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"{caught} neither re-raises nor converts the error "
+                f"(encode_error/encode_retry/set_exception); narrow the "
+                f"exception type or propagate the failure",
+            )
+
+    def _handler_converts(self, handler: ast.ExceptHandler) -> bool:
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func) or ""
+                last = name.rsplit(".", 1)[-1]
+                if _CONVERT_RE.match(last):
+                    return True
+        return False

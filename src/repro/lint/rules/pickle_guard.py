@@ -1,0 +1,64 @@
+"""RL008 — no pickle on bytes from outside the process.
+
+``pickle.loads`` on attacker-reachable bytes is arbitrary code
+execution.  The wire protocol is deliberately stdlib-``struct``-only
+(PR 4) and the container format is pure numpy buffers; the *only*
+sanctioned pickle surface is the in-process plan-broadcast path, where
+``multiprocessing`` pickles a :class:`FrozenPlan` the parent itself
+constructed (``repro/parallel/executor.py``).
+
+Flags every ``pickle.loads``/``pickle.load``/``pickle.Unpickler`` call
+(including names imported via ``from pickle import loads``) in modules
+outside the ``allow_modules`` allowlist.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+from typing import Iterator, Set
+
+from ..engine import Finding, ModuleContext, Rule, dotted_name
+
+__all__ = ["PickleGuardRule"]
+
+_PICKLE_CALLS = {"loads", "load", "Unpickler"}
+_PICKLE_MODULES = {"pickle", "cPickle", "_pickle", "dill", "cloudpickle"}
+
+
+class PickleGuardRule(Rule):
+    rule_id = "RL008"
+    name = "pickle-guard"
+    description = (
+        "pickle deserialization only on the in-process plan-broadcast path"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        allow = self.options.get("allow_modules", [])
+        if any(fnmatch.fnmatch(ctx.relpath, pat) for pat in allow):
+            return
+        imported: Set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module in _PICKLE_MODULES:
+                for alias in node.names:
+                    if alias.name in _PICKLE_CALLS:
+                        imported.add(alias.asname or alias.name)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func) or ""
+            parts = name.split(".")
+            is_pickle = (
+                len(parts) == 2
+                and parts[0] in _PICKLE_MODULES
+                and parts[1] in _PICKLE_CALLS
+            ) or (len(parts) == 1 and parts[0] in imported)
+            if is_pickle:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{name}() deserializes pickle outside the in-process "
+                    f"plan-broadcast path; untrusted bytes through pickle "
+                    f"are arbitrary code execution — use the struct-based "
+                    f"wire codecs instead",
+                )

@@ -1,0 +1,186 @@
+"""RL004/RL005 — frozen plans stay frozen; service state has one writer.
+
+RL004 (PR 3 contract): a :class:`FrozenPlan` is derived once and then
+shared across chunks, worker threads, and the plan LRU — any attribute
+assignment after derivation is a data race and breaks byte-identical
+replay.  The dataclass is ``frozen=True`` at runtime, but
+``object.__setattr__`` and future refactors can sidestep that; the lint
+catches the *intent* statically.
+
+RL005 (PR 6 contract): :class:`AdmissionController` and
+:class:`ServiceMetrics` are mutated only through their own methods, so
+every counter transition happens under the owning object's discipline
+and the STATS snapshot always reconciles.  Reaching into
+``service.metrics.jobs_done += 1`` from the scheduler would bypass that.
+
+Both rules track instances the same way: names bound from a
+constructor/deriver call, parameters/variables annotated with the class,
+and (for RL005) well-known attribute paths like ``self.metrics``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..engine import Finding, ModuleContext, Rule, dotted_name, iter_functions
+
+__all__ = ["FrozenPlanPurityRule", "ServiceStateDisciplineRule"]
+
+_PLAN_MAKER_RE = re.compile(r"(^|\.)(FrozenPlan|derive_plan|get_or_derive)$")
+_PLAN_ALLOWED_FUNCS = {"__init__", "__post_init__", "derive_plan"}
+
+
+def _annotation_mentions(annotation: Optional[ast.expr], token: str) -> bool:
+    if annotation is None:
+        return False
+    return token in ast.unparse(annotation)
+
+
+def _attr_store_targets(node: ast.stmt) -> List[ast.Attribute]:
+    """Attribute targets being assigned/augmented by this statement."""
+    targets: List[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target]
+    out: List[ast.Attribute] = []
+    for tgt in targets:
+        for sub in ast.walk(tgt):
+            if isinstance(sub, ast.Attribute) and isinstance(
+                sub.ctx, ast.Store
+            ):
+                out.append(sub)
+    return out
+
+
+class FrozenPlanPurityRule(Rule):
+    rule_id = "RL004"
+    name = "frozen-plan-purity"
+    description = (
+        "no attribute assignment on FrozenPlan instances outside "
+        "__init__/derive_plan"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for func, classes in iter_functions(ctx.tree):
+            if "FrozenPlan" in classes:
+                continue
+            if func.name in _PLAN_ALLOWED_FUNCS:
+                continue
+            tracked = self._tracked_names(func)
+            if not tracked:
+                continue
+            for stmt in ast.walk(func):
+                if not isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                    continue
+                for attr in _attr_store_targets(stmt):
+                    base = dotted_name(attr.value)
+                    if base in tracked:
+                        yield self.finding(
+                            ctx,
+                            stmt,
+                            f"attribute assignment '{base}.{attr.attr} = ...' "
+                            f"mutates a FrozenPlan outside __init__/derive_plan; "
+                            f"plans are immutable after derivation — build a "
+                            f"new plan with derive_plan instead",
+                        )
+
+    def _tracked_names(self, func: ast.AST) -> Set[str]:
+        tracked: Set[str] = set()
+        args = func.args
+        for a in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs):
+            if _annotation_mentions(a.annotation, "FrozenPlan"):
+                tracked.add(a.arg)
+        for node in ast.walk(func):
+            if isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                if _annotation_mentions(node.annotation, "FrozenPlan"):
+                    tracked.add(node.target.id)
+            elif isinstance(node, ast.Assign) and isinstance(
+                node.value, ast.Call
+            ):
+                fname = dotted_name(node.value.func)
+                if fname and _PLAN_MAKER_RE.search(fname):
+                    for tgt in node.targets:
+                        if isinstance(tgt, ast.Name):
+                            tracked.add(tgt.id)
+        return tracked
+
+
+class ServiceStateDisciplineRule(Rule):
+    rule_id = "RL005"
+    name = "service-state-discipline"
+    description = (
+        "AdmissionController/ServiceMetrics attributes are mutated only "
+        "inside their owning class's methods"
+    )
+
+    #: attribute-path suffix → owning class (how service code names them)
+    DEFAULT_ATTR_HINTS: Dict[str, str] = {
+        "metrics": "ServiceMetrics",
+        "_metrics": "ServiceMetrics",
+        "admission": "AdmissionController",
+        "_admission": "AdmissionController",
+    }
+    OWNED_CLASSES = ("AdmissionController", "ServiceMetrics")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        hints: Dict[str, str] = dict(
+            self.options.get("attr_hints", self.DEFAULT_ATTR_HINTS)
+        )
+        for func, classes in iter_functions(ctx.tree):
+            local_owners = self._local_bindings(func, hints)
+            for stmt in ast.walk(func):
+                if not isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                    continue
+                for attr in _attr_store_targets(stmt):
+                    owner = self._owner_of(attr.value, local_owners, hints)
+                    if owner is None or owner in classes:
+                        continue
+                    base = dotted_name(attr.value) or "<expr>"
+                    yield self.finding(
+                        ctx,
+                        stmt,
+                        f"'{base}.{attr.attr}' is {owner} state; mutate it "
+                        f"through a {owner} method, not from "
+                        f"{'.'.join(classes) or 'module scope'} — single-"
+                        f"writer discipline keeps STATS reconciliation exact",
+                    )
+
+    def _local_bindings(
+        self, func: ast.AST, hints: Dict[str, str]
+    ) -> Dict[str, str]:
+        owners: Dict[str, str] = {}
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            cls: Optional[str] = None
+            if isinstance(value, ast.Call):
+                fname = dotted_name(value.func) or ""
+                last = fname.rsplit(".", 1)[-1]
+                if last in self.OWNED_CLASSES:
+                    cls = last
+            elif isinstance(value, ast.Attribute):
+                cls = hints.get(value.attr)
+            if cls is None:
+                continue
+            for tgt in node.targets:
+                if isinstance(tgt, ast.Name):
+                    owners[tgt.id] = cls
+        return owners
+
+    def _owner_of(
+        self,
+        base: ast.expr,
+        local_owners: Dict[str, str],
+        hints: Dict[str, str],
+    ) -> Optional[str]:
+        if isinstance(base, ast.Name):
+            return local_owners.get(base.id)
+        if isinstance(base, ast.Attribute):
+            return hints.get(base.attr)
+        return None

@@ -1,0 +1,194 @@
+"""RL003 — wire bytes come from the registry (stream-stability contract).
+
+Byte-identical stream replay across versions is the repo's oldest
+promise (PR 1's golden fixtures, PR 2's v1/v2 header compat, PR 4's
+protocol framing).  This rule makes the wire surface *declarative*:
+every ``struct`` format string and every magic/version constant in a
+wire module must match :mod:`repro.lint.wire_registry` — in both
+directions — so changing wire bytes is impossible without a visible
+registry diff and revision bump.
+
+Checks per registered module:
+
+* every format-string literal passed to ``struct.pack``/``unpack``/
+  ``Struct``/``calcsize`` (f-strings normalized: count interpolations
+  become ``{}``) must be registered;
+* every registered format must still occur in the source (otherwise the
+  registry has drifted from reality);
+* every registered constant (``MAGIC``, ``VERSION``, ``MAX_FRAME``,
+  opcodes, ...) must exist at module level with exactly the registered
+  value — a mismatch means wire bytes changed without a registry
+  update + revision bump.
+
+Non-literal format strings (built dynamically from variables) cannot be
+checked and are flagged as errors outright: wire formats must be
+auditable at rest.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from ..engine import Finding, ModuleContext, Rule, dotted_name
+from ..wire_registry import WireSpec, spec_for
+
+__all__ = ["WireFormatRule"]
+
+_STRUCT_CALL_LAST = {"pack", "pack_into", "unpack", "unpack_from", "calcsize", "Struct"}
+
+
+def _normalize_format(node: ast.expr) -> Optional[str]:
+    """Literal or f-string format → normalized registry form, else None."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.JoinedStr):
+        parts: List[str] = []
+        for piece in node.values:
+            if isinstance(piece, ast.Constant) and isinstance(piece.value, str):
+                parts.append(piece.value)
+            elif isinstance(piece, ast.FormattedValue):
+                parts.append("{}")
+            else:
+                return None
+        return "".join(parts)
+    return None
+
+
+def _const_value(node: ast.expr) -> Tuple[bool, object]:
+    """Tiny constant evaluator for wire constants (handles ``1 << 30``)."""
+    if isinstance(node, ast.Constant):
+        return True, node.value
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        ok, v = _const_value(node.operand)
+        if ok and isinstance(v, (int, float)):
+            return True, -v
+        return False, None
+    if isinstance(node, ast.BinOp):
+        ok_l, left = _const_value(node.left)
+        ok_r, right = _const_value(node.right)
+        if not (ok_l and ok_r):
+            return False, None
+        try:
+            if isinstance(node.op, ast.LShift):
+                return True, left << right
+            if isinstance(node.op, ast.RShift):
+                return True, left >> right
+            if isinstance(node.op, ast.Add):
+                return True, left + right
+            if isinstance(node.op, ast.Sub):
+                return True, left - right
+            if isinstance(node.op, ast.Mult):
+                return True, left * right
+            if isinstance(node.op, ast.Pow):
+                return True, left**right
+            if isinstance(node.op, ast.BitOr):
+                return True, left | right
+        except TypeError:
+            return False, None
+    return False, None
+
+
+class WireFormatRule(Rule):
+    rule_id = "RL003"
+    name = "wire-format-registry"
+    description = (
+        "struct formats and magic/version constants in wire modules must "
+        "match lint/wire_registry.py"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        spec = spec_for(ctx.relpath)
+        if spec is None:
+            return
+        registered = set(spec.formats)
+        seen: Set[str] = set()
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if not name:
+                continue
+            last = name.rsplit(".", 1)[-1]
+            if last not in _STRUCT_CALL_LAST or not node.args:
+                continue
+            # only struct-module calls: struct.pack / struct.Struct /
+            # SomeStruct.unpack_from etc. (method form has no literal arg0
+            # format anyway, so the literal check below filters it)
+            fmt = _normalize_format(node.args[0])
+            if fmt is None:
+                if last in {"pack", "unpack", "pack_into", "unpack_from"} and (
+                    name.startswith("struct.") or name == last
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"struct.{last} format is not a literal/f-string; "
+                        f"wire formats must be statically auditable",
+                    )
+                continue
+            if not fmt.startswith(("<", ">", "=", "!")):
+                # a string arg0 that is not a struct format (e.g. a
+                # Struct method on a non-format string) — ignore
+                continue
+            seen.add(fmt)
+            if fmt not in registered:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"struct format {fmt!r} is not registered in "
+                    f"lint/wire_registry.py for {spec.module} (rev "
+                    f"{spec.revision}); register it and bump the revision",
+                )
+
+        for fmt in sorted(registered - seen):
+            yield Finding(
+                rule=self.rule_id,
+                path=ctx.relpath,
+                line=1,
+                col=0,
+                message=(
+                    f"registered wire format {fmt!r} (rev {spec.revision}) "
+                    f"no longer appears in {spec.module}; the registry has "
+                    f"drifted — update wire_registry.py and bump the revision"
+                ),
+            )
+
+        yield from self._check_constants(ctx, spec)
+
+    def _check_constants(
+        self, ctx: ModuleContext, spec: WireSpec
+    ) -> Iterator[Finding]:
+        module_consts = {}
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                tgt = stmt.targets[0]
+                if isinstance(tgt, ast.Name):
+                    ok, value = _const_value(stmt.value)
+                    if ok:
+                        module_consts[tgt.id] = (value, stmt)
+        for cname, expected in spec.constants.items():
+            if cname not in module_consts:
+                yield Finding(
+                    rule=self.rule_id,
+                    path=ctx.relpath,
+                    line=1,
+                    col=0,
+                    message=(
+                        f"registered wire constant {cname} is missing from "
+                        f"{spec.module}; registry rev {spec.revision} has "
+                        f"drifted"
+                    ),
+                )
+                continue
+            value, stmt = module_consts[cname]
+            if value != expected:
+                yield self.finding(
+                    ctx,
+                    stmt,
+                    f"wire constant {cname} = {value!r} differs from "
+                    f"registered value {expected!r} (rev {spec.revision}); "
+                    f"changing wire bytes requires updating "
+                    f"lint/wire_registry.py and bumping the revision",
+                )

@@ -1,0 +1,115 @@
+"""Central registry of the repo's wire formats (the RL003 ground truth).
+
+Every byte that crosses a process or file boundary is described here:
+the container/stream header (``repro/core/header.py``), the chunked
+container footer (``repro/chunked/container.py``), and the service
+protocol (``repro/service/protocol.py``).  RL003 cross-checks each wire
+module against its registered spec in both directions —
+
+* a ``struct`` format string or magic/version constant in the source
+  that is **not** registered here fails lint (you changed wire bytes
+  without declaring it), and
+* a registered format that no longer appears in the source fails lint
+  (the registry drifted from reality).
+
+Changing wire bytes is therefore a two-file diff by construction: the
+wire module **and** this registry, with the module's ``revision``
+bumped.  The golden tests in ``tests/lint/test_wire_golden.py`` then
+pin the registered constants to the actual bytes of the committed
+golden fixtures, closing the loop registry ↔ source ↔ bytes-on-disk.
+
+Format strings are stored *normalized*: f-string count fields collapse
+to ``{}`` (``f"<{ndim}Q"`` registers as ``"<{}Q"``), because the repeat
+count is data-dependent while the element type and endianness are the
+wire contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+__all__ = ["WireSpec", "WIRE_SPECS", "spec_for"]
+
+
+@dataclass(frozen=True)
+class WireSpec:
+    """The registered wire surface of one module."""
+
+    module: str  # repo-relative path, e.g. "repro/core/header.py"
+    #: bump when any registered byte layout changes; reviewers diff this
+    revision: int
+    #: normalized struct format strings the module may pack/unpack
+    formats: Tuple[str, ...]
+    #: module-level constants whose values ARE wire bytes
+    constants: Mapping[str, object] = field(default_factory=dict)
+
+
+# ---------------------------------------------------------------------------
+# revision history
+#   header.py    rev 2: v2 header adds a flags byte ("<4sBBBBBd"); v1
+#                ("<4sBBBBd") still readable (PR 2/3 compat contract)
+#   container.py rev 1: footer chunk-count "<Q" (PR 3)
+#   protocol.py  rev 2: protocol v2 adds priority + declared-cost fields
+#                to OP_COMPRESS (PR 6); scalar codecs unchanged since v1
+# ---------------------------------------------------------------------------
+
+WIRE_SPECS: Tuple[WireSpec, ...] = (
+    WireSpec(
+        module="repro/core/header.py",
+        revision=2,
+        formats=(
+            "<4sB",  # prefix: magic, version
+            "<4sBBBBd",  # fixed v1: magic, version, codec, dtype, ndim, eb
+            "<4sBBBBBd",  # fixed v2: ... + flags byte before eb
+            "<{}Q",  # shape dims / chunk-entry starts
+            "<{}I",  # chunk shape / chunk-entry shapes
+            "<I",  # section count
+            "<Q",  # section length / chunk-entry count
+            "<QQ",  # chunk-entry (offset, nbytes)
+        ),
+        constants={
+            "MAGIC": b"RPZ1",
+            "VERSION": 2,
+            "FLAG_CHUNKED": 0x01,
+        },
+    ),
+    WireSpec(
+        module="repro/chunked/container.py",
+        revision=1,
+        formats=(
+            "<Q",  # chunk count read from the index prelude
+        ),
+    ),
+    WireSpec(
+        module="repro/service/protocol.py",
+        revision=2,
+        formats=(
+            "<B",  # u8 scalar
+            "<H",  # u16 scalar / string length
+            "<I",  # u32 scalar / frame length prefix
+            "<Q",  # u64 scalar
+            "<q",  # i64 scalar
+            "<d",  # f64 scalar
+        ),
+        constants={
+            "PROTOCOL_VERSION": 2,
+            "MAX_FRAME": 1 << 30,
+            "OP_PING": 1,
+            "OP_COMPRESS": 2,
+            "OP_DECOMPRESS": 3,
+            "OP_READ_SLAB": 4,
+            "OP_STATS": 5,
+            "ST_OK": 0,
+            "ST_ERROR": 1,
+            "ST_RETRY": 2,
+        },
+    ),
+)
+
+_BY_MODULE: Dict[str, WireSpec] = {s.module: s for s in WIRE_SPECS}
+
+
+def spec_for(relpath: str) -> WireSpec | None:
+    """Registered spec for a repo-relative module path, if any."""
+    return _BY_MODULE.get(relpath)

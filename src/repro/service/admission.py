@@ -55,6 +55,7 @@ from typing import Callable, Dict, Optional, Tuple, Union
 import numpy as np
 
 from repro.core.header import parse_header
+from repro.errors import ReproError
 from repro.core.plan_cache import PlanLRU, field_signature, plan_cache_key
 from repro.service.protocol import (
     PRIORITIES,
@@ -271,7 +272,9 @@ def _declared_field(blob: bytes) -> Tuple[Optional[int], int]:
     """(elements, nbytes) a stream header declares, or (None, 0)."""
     try:
         header, _ = parse_header(blob[:64])
-    except Exception:
+    except ReproError:
+        # malformed/truncated header: the request still gets a finite
+        # estimate here and fails with its real error in the scheduler
         return None, 0
     elements = 1
     for n in header.shape:
@@ -282,12 +285,14 @@ def _declared_field(blob: bytes) -> Tuple[Optional[int], int]:
 def _declared_shape(blob: bytes) -> Optional[Tuple[int, ...]]:
     try:
         header, _ = parse_header(blob[:64])
-    except Exception:
+    except ReproError:
         return None
     return tuple(int(n) for n in header.shape)
 
 
-def _slab_elements(slab, shape: Optional[Tuple[int, ...]]) -> Optional[int]:
+def _slab_elements(
+    slab: Tuple[slice, ...], shape: Optional[Tuple[int, ...]]
+) -> Optional[int]:
     """Element count a hyperslab request will materialize, if computable.
 
     Dimensions with open ends fall back to the container shape when one

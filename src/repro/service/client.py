@@ -35,7 +35,18 @@ import random
 import socket
 import threading
 import time
-from typing import Dict, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Coroutine,
+    Dict,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+    TypeVar,
+    Union,
+    cast,
+)
 
 import numpy as np
 
@@ -47,13 +58,18 @@ from repro.errors import (
 from repro.service import protocol
 from repro.service.scheduler import CompressionService, ServiceConfig
 
+_T = TypeVar("_T")
+
+#: hyperslab spec as clients accept it (mirrors repro.chunked.tiling.Slab)
+SlabArg = Sequence[Union[slice, Tuple[int, int], None]]
+
 
 def _compress_request(
     data: np.ndarray,
     codec: str,
     error_bound: Optional[float],
     rel_error_bound: Optional[float],
-    chunks,
+    chunks: Union[int, Sequence[int], None],
     codec_kwargs: Optional[Dict],
     family: Optional[str],
     per_chunk_tuning: bool,
@@ -94,7 +110,9 @@ class ServiceClient:
         self.service = CompressionService(config)
         self._call(self.service.start())
 
-    def _call(self, coro):
+    def _call(self, coro: Coroutine[Any, Any, _T]) -> _T:
+        # synchronous bridge onto the private loop thread; .result() here
+        # blocks the *caller's* thread, never the loop (RL002's concern)
         return asyncio.run_coroutine_threadsafe(coro, self._loop).result()
 
     # ----------------------------------------------------------------- api
@@ -119,7 +137,7 @@ class ServiceClient:
             codec_kwargs, family, per_chunk_tuning,
             priority, client_id or self.client_id,
         )
-        return self._call(self.service.handle(req))
+        return cast(bytes, self._call(self.service.handle(req)))
 
     def decompress(
         self,
@@ -128,37 +146,46 @@ class ServiceClient:
         client_id: Optional[str] = None,
     ) -> np.ndarray:
         protocol.validate_priority(priority)
-        return self._call(
-            self.service.handle(
-                protocol.DecompressRequest(
-                    blob=bytes(blob),
-                    priority=priority,
-                    client_id=client_id or self.client_id,
+        return cast(
+            np.ndarray,
+            self._call(
+                self.service.handle(
+                    protocol.DecompressRequest(
+                        blob=bytes(blob),
+                        priority=priority,
+                        client_id=client_id or self.client_id,
+                    )
                 )
-            )
+            ),
         )
 
     def read(
         self,
         source: Union[bytes, str],
-        slab,
+        slab: SlabArg,
         priority: str = "interactive",
         client_id: Optional[str] = None,
     ) -> np.ndarray:
         protocol.validate_priority(priority)
-        return self._call(
-            self.service.handle(
-                protocol.ReadSlabRequest(
-                    source=source,
-                    slab=tuple(slab),
-                    priority=priority,
-                    client_id=client_id or self.client_id,
+        return cast(
+            np.ndarray,
+            self._call(
+                self.service.handle(
+                    protocol.ReadSlabRequest(
+                        source=source,
+                        slab=tuple(slab),
+                        priority=priority,
+                        client_id=client_id or self.client_id,
+                    )
                 )
-            )
+            ),
         )
 
-    def stats(self) -> Dict:
-        return self._call(self.service.handle(protocol.StatsRequest()))
+    def stats(self) -> Dict[str, Union[int, float]]:
+        return cast(
+            Dict[str, Union[int, float]],
+            self._call(self.service.handle(protocol.StatsRequest())),
+        )
 
     # ------------------------------------------------------------ lifecycle
     def close(self) -> None:
@@ -174,7 +201,12 @@ class ServiceClient:
     def __enter__(self) -> "ServiceClient":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: object,
+    ) -> None:
         self.close()
 
 
@@ -214,7 +246,7 @@ class RemoteClient:
         time.sleep(delay)
         return delay
 
-    def _rpc(self, request: protocol.Request):
+    def _rpc(self, request: protocol.Request) -> protocol.Response:
         op = protocol.op_for_request(request)
         attempts = self.retries + 1
         for attempt in range(attempts):
@@ -259,7 +291,9 @@ class RemoteClient:
             codec_kwargs, family, per_chunk_tuning,
             priority, client_id or self.client_id,
         )
-        return self._rpc(req).blob
+        blob = self._rpc(req).blob
+        assert blob is not None  # ST_OK compress responses always carry one
+        return blob
 
     def decompress(
         self,
@@ -268,23 +302,25 @@ class RemoteClient:
         client_id: Optional[str] = None,
     ) -> np.ndarray:
         protocol.validate_priority(priority)
-        return self._rpc(
+        array = self._rpc(
             protocol.DecompressRequest(
                 blob=bytes(blob),
                 priority=priority,
                 client_id=client_id or self.client_id,
             )
         ).array
+        assert array is not None
+        return array
 
     def read(
         self,
         source: Union[bytes, str],
-        slab,
+        slab: SlabArg,
         priority: str = "interactive",
         client_id: Optional[str] = None,
     ) -> np.ndarray:
         protocol.validate_priority(priority)
-        return self._rpc(
+        array = self._rpc(
             protocol.ReadSlabRequest(
                 source=source,
                 slab=tuple(slab),
@@ -292,9 +328,13 @@ class RemoteClient:
                 client_id=client_id or self.client_id,
             )
         ).array
+        assert array is not None
+        return array
 
-    def stats(self) -> Dict:
-        return self._rpc(protocol.StatsRequest()).mapping
+    def stats(self) -> Dict[str, Union[int, float]]:
+        mapping = self._rpc(protocol.StatsRequest()).mapping
+        assert mapping is not None
+        return mapping
 
     # ------------------------------------------------------------ lifecycle
     def close(self) -> None:
@@ -306,7 +346,12 @@ class RemoteClient:
     def __enter__(self) -> "RemoteClient":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: object,
+    ) -> None:
         self.close()
 
 

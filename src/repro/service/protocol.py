@@ -44,6 +44,7 @@ backpressure/observability frames:
 from __future__ import annotations
 
 import asyncio
+import socket
 import struct
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -231,7 +232,7 @@ def _unpack_array(r: _Reader) -> np.ndarray:
     return np.frombuffer(bytearray(raw), dtype=dtype).reshape(shape)
 
 
-def _pack_slab(w: _Writer, slab) -> None:
+def _pack_slab(w: _Writer, slab: Sequence[object]) -> None:
     w.u8(len(slab))
     for dim in slab:
         if dim is None:
@@ -607,7 +608,7 @@ async def read_frame(reader: asyncio.StreamReader) -> Optional[bytes]:
         raise ProtocolError("connection closed mid-frame") from exc
 
 
-def read_frame_sync(sock) -> bytes:
+def read_frame_sync(sock: socket.socket) -> bytes:
     """Blocking frame read from a ``socket.socket`` (client side)."""
     head = _recv_exact(sock, 4)
     (length,) = struct.unpack("<I", head)
@@ -616,7 +617,7 @@ def read_frame_sync(sock) -> bytes:
     return _recv_exact(sock, length)
 
 
-def _recv_exact(sock, n: int) -> bytes:
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
     parts = []
     remaining = n
     while remaining:

@@ -58,7 +58,7 @@ import time
 from collections import OrderedDict, deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Tuple, Union
+from typing import Awaitable, Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -68,7 +68,7 @@ from repro.chunked.api import (
     compress_chunked,
 )
 from repro.chunked.container import ChunkedWriter
-from repro.chunked.tiling import grid_for
+from repro.chunked.tiling import Slab, grid_for
 from repro.compressors.base import decompress_any, get_compressor
 from repro.core.header import parse_header
 from repro.core.plan_cache import PlanLRU, field_signature, plan_cache_key
@@ -288,7 +288,7 @@ class CompressionService:
             job.estimate.codec,
         )
 
-    async def handle(self, request: Request):
+    async def handle(self, request: Request) -> object:
         """Process one request end-to-end (the in-process entry point)."""
         if isinstance(request, PingRequest):
             return None
@@ -388,7 +388,7 @@ class CompressionService:
         for job in singles:
             await self._run_single(job)
 
-    async def _guard(self, job: _Job, coro) -> None:
+    async def _guard(self, job: _Job, coro: Awaitable[object]) -> None:
         """Await a job coroutine, routing the outcome into its future."""
         try:
             result = await coro
@@ -536,7 +536,9 @@ class CompressionService:
 
     # ------------------------------------------------------ decompress/read
     @staticmethod
-    def _check_decode_size(shape, dtype, what: str) -> None:
+    def _check_decode_size(
+        shape: Sequence[int], dtype: "np.dtype[np.generic]", what: str
+    ) -> None:
         """Cap attacker-declared output sizes at the protocol frame cap.
 
         A forged container header can declare an arbitrarily large field
@@ -632,7 +634,7 @@ class CompressionService:
             old.close()
         return cf
 
-    async def _read_from(self, cf: ChunkedFile, slab) -> np.ndarray:
+    async def _read_from(self, cf: ChunkedFile, slab: Slab) -> np.ndarray:
         """Concurrent-decode execution of ``ChunkedFile.slab_plan``."""
         loop = asyncio.get_running_loop()
         norm, parts = cf.slab_plan(slab)

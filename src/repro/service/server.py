@@ -90,7 +90,9 @@ class ServiceServer:
             print(format_stats_line(self.service.stats()), flush=True)
 
     # ------------------------------------------------------------- plumbing
-    async def _handle_connection(self, reader, writer) -> None:
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
         self.service.metrics.connection_opened()
         try:
             while True:

@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# One-command pre-push gate: the same checks CI's `lint` and `tests`
+# jobs run, in fast-feedback order.
+#
+#   tools/check.sh          reprolint + lint tests + tier-1 suite
+#   tools/check.sh --fast   reprolint + lint tests only (seconds)
+#
+# mypy runs only when it is installed — the check environment is not
+# required to have it (CI's lint job always does).
+set -eu
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== reprolint =="
+python -m repro lint src
+
+echo "== lint test suite =="
+python -m pytest tests/lint -q
+
+if python -c "import mypy" 2>/dev/null; then
+    echo "== mypy =="
+    python -m mypy src/repro
+else
+    echo "== mypy == (not installed; skipped — CI runs it)"
+fi
+
+if [ "${1:-}" = "--fast" ]; then
+    echo "check.sh: fast checks passed"
+    exit 0
+fi
+
+echo "== tier-1 suite =="
+python -m pytest -x -q -m "not soak"
+
+echo "check.sh: all checks passed"
