@@ -21,11 +21,14 @@ Quickstart::
 
 from repro.chunked.api import (
     ChunkedFile,
+    ChunkFault,
+    VerifyReport,
     compress_chunked,
     compress_chunked_to_file,
     decompress_chunk,
     decompress_chunked,
     read_hyperslab,
+    verify_container,
 )
 from repro.chunked.container import ChunkedWriter, ContainerInfo, read_container_info
 from repro.chunked.tiling import DEFAULT_CHUNK, ChunkGrid, grid_for, normalize_chunk_shape
@@ -33,9 +36,11 @@ from repro.chunked.tiling import DEFAULT_CHUNK, ChunkGrid, grid_for, normalize_c
 __all__ = [
     "ChunkedFile",
     "ChunkedWriter",
+    "ChunkFault",
     "ChunkGrid",
     "ContainerInfo",
     "DEFAULT_CHUNK",
+    "VerifyReport",
     "compress_chunked",
     "compress_chunked_to_file",
     "decompress_chunk",
@@ -44,4 +49,5 @@ __all__ = [
     "normalize_chunk_shape",
     "read_container_info",
     "read_hyperslab",
+    "verify_container",
 ]

@@ -1,11 +1,16 @@
-"""Byte-level layout of the multi-chunk container (RPZ1 v2, FLAG_CHUNKED).
+"""Byte-level layout of the multi-chunk container (RPZ1, FLAG_CHUNKED).
 
 A container is::
 
     fixed header (magic, version, inner codec id, dtype, array shape,
-                  FLAG_CHUNKED, absolute error bound)
-    chunk index  (nominal chunk shape + per-chunk start/shape/offset/len)
+                  FLAG_CHUNKED, absolute error bound; v3 appends a
+                  u32 header checksum)
+    chunk index  (nominal chunk shape + per-chunk start/shape/offset/len;
+                  v3 entries append a u64 blake2s-8 content digest)
     chunk data   (each chunk an ordinary self-describing codec stream)
+
+New containers are written at v3 (``VERSION_CHECKSUM``); v2 containers
+(no checksums) remain fully readable, pinned by golden fixtures.
 
 The index has a fixed size for a given (ndim, n_chunks), so
 :class:`ChunkedWriter` reserves it up front, streams compressed chunks to
@@ -28,8 +33,10 @@ import numpy as np
 from repro.chunked.tiling import ChunkGrid
 from repro.core.header import (
     FLAG_CHUNKED,
+    VERSION_CHECKSUM,
     ChunkEntry,
     StreamHeader,
+    chunk_digest,
     chunk_index_size,
     pack_chunk_index,
     pack_header,
@@ -70,23 +77,34 @@ class ChunkedWriter:
         dtype: np.dtype,
         grid: ChunkGrid,
         error_bound: float,
+        version: int = VERSION_CHECKSUM,
     ) -> None:
         self._file = fileobj
         self._grid = grid
         self._base = fileobj.tell()
+        self._version = int(version)
+        self._with_checksums = self._version == VERSION_CHECKSUM
         self._header = StreamHeader(
             codec_id=codec_id,
             dtype=np.dtype(dtype),
             shape=grid.shape,
             error_bound=float(error_bound),
+            version=self._version,
             flags=FLAG_CHUNKED,
         )
         head = pack_header(
-            codec_id, dtype, grid.shape, error_bound, flags=FLAG_CHUNKED
+            codec_id,
+            dtype,
+            grid.shape,
+            error_bound,
+            flags=FLAG_CHUNKED,
+            version=self._version,
         )
         fileobj.write(head)
         self._index_pos = fileobj.tell()
-        self._index_size = chunk_index_size(len(grid.shape), grid.n_chunks)
+        self._index_size = chunk_index_size(
+            len(grid.shape), grid.n_chunks, self._with_checksums
+        )
         fileobj.write(b"\x00" * self._index_size)
         self._data_start = fileobj.tell()
         self._next_offset = 0
@@ -106,6 +124,7 @@ class ChunkedWriter:
             shape=self._grid.chunk_shape_at(index),
             offset=self._next_offset,
             nbytes=len(blob),
+            checksum=chunk_digest(blob) if self._with_checksums else None,
         )
         self._next_offset += len(blob)
 
@@ -118,7 +137,9 @@ class ChunkedWriter:
                 f"(first missing: {missing[0]})"
             )
         self._file.seek(self._index_pos)
-        index = pack_chunk_index(self._grid.chunk_shape, self._entries)
+        index = pack_chunk_index(
+            self._grid.chunk_shape, self._entries, self._with_checksums
+        )
         assert len(index) == self._index_size
         self._file.write(index)
         self._file.seek(self._data_start + self._next_offset)
@@ -155,23 +176,26 @@ def read_container_info(fileobj: BinaryIO, base: int = 0) -> ContainerInfo:
             "use repro.compressors.base.decompress_any"
         )
     ndim = len(header.shape)
+    with_checksums = header.version == VERSION_CHECKSUM
     fileobj.seek(base + off)
     # the index size is known once n_chunks is — read its fixed prelude,
-    # then the entries
+    # then the entries (v3 entries carry a trailing u64 digest)
     prelude = fileobj.read(4 * ndim + 8)
     if len(prelude) < 4 * ndim + 8:
         raise DecompressionError("stream truncated in chunk index header")
     (count,) = struct.unpack_from("<Q", prelude, 4 * ndim)
-    entry_bytes = count * (12 * ndim + 16)
+    entry_bytes = count * ((12 * ndim + 24) if with_checksums else (12 * ndim + 16))
     body = fileobj.read(entry_bytes)
-    chunk_shape, entries, _ = unpack_chunk_index(prelude + body, 0, ndim)
+    chunk_shape, entries, _ = unpack_chunk_index(
+        prelude + body, 0, ndim, with_checksums
+    )
     grid = ChunkGrid(header.shape, chunk_shape)
     if grid.n_chunks != len(entries):
         raise DecompressionError(
             f"chunk index has {len(entries)} entries but the grid implies "
             f"{grid.n_chunks}"
         )
-    data_start = base + off + chunk_index_size(ndim, len(entries))
+    data_start = base + off + chunk_index_size(ndim, len(entries), with_checksums)
     return ContainerInfo(
         header=header, grid=grid, entries=entries, data_start=data_start
     )

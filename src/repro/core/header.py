@@ -14,14 +14,19 @@ Two stream layouts share the header (``flags`` distinguishes them):
   the container (see :mod:`repro.chunked` and DESIGN.md §2/§5).
 
 Version history: v1 had no flags byte and only described plain streams;
-v2 adds ``flags``.  :func:`parse_header` still reads v1 streams.
+v2 adds ``flags``; v3 (``VERSION_CHECKSUM``) appends a u32 checksum of
+the fixed header + dims, and its chunk-index entries each carry a u64
+content digest of the chunk's stored bytes.  :func:`parse_header` still
+reads v1 and v2 streams; plain codec streams keep writing v2 (no
+per-chunk payloads to protect), only the chunked writer emits v3.
 """
 
 from __future__ import annotations
 
+import hashlib
 import struct
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -31,6 +36,10 @@ from repro.utils import dtype_code, dtype_from_code
 MAGIC = b"RPZ1"
 VERSION = 2
 
+#: stream version carrying integrity checksums: a u32 header checksum
+#: after the dims and a u64 blake2s-8 digest per chunk-index entry
+VERSION_CHECKSUM = 3
+
 #: header flag: the payload is a chunk index + per-chunk streams, not a
 #: single codec payload (``codec_id`` then names the *inner* codec)
 FLAG_CHUNKED = 0x01
@@ -38,6 +47,20 @@ FLAG_CHUNKED = 0x01
 _PREFIX = struct.Struct("<4sB")  # magic, version
 _FIXED_V1 = struct.Struct("<4sBBBBd")  # magic, version, codec, dtype, ndim, eb
 _FIXED_V2 = struct.Struct("<4sBBBBBd")  # ... + flags before eb
+
+
+def header_checksum(head: bytes) -> int:
+    """u32 blake2s-4 checksum of the serialized fixed header + dims."""
+    digest = hashlib.blake2s(head, digest_size=4).digest()
+    (value,) = struct.unpack("<I", digest)
+    return value
+
+
+def chunk_digest(blob: bytes) -> int:
+    """u64 blake2s-8 content digest of one stored chunk's bytes."""
+    digest = hashlib.blake2s(blob, digest_size=8).digest()
+    (value,) = struct.unpack("<Q", digest)
+    return value
 
 
 @dataclass(frozen=True)
@@ -63,11 +86,14 @@ def pack_header(
     shape: Sequence[int],
     error_bound: float,
     flags: int = 0,
+    version: int = VERSION,
 ) -> bytes:
-    """Serialize the fixed header (always the current version)."""
+    """Serialize the fixed header (v2 by default, v3 appends a checksum)."""
+    if version not in (VERSION, VERSION_CHECKSUM):
+        raise ValueError(f"cannot write stream version {version}")
     head = _FIXED_V2.pack(
         MAGIC,
-        VERSION,
+        version,
         codec_id,
         dtype_code(dtype),
         len(shape),
@@ -75,6 +101,8 @@ def pack_header(
         float(error_bound),
     )
     dims = struct.pack(f"<{len(shape)}Q", *shape)
+    if version == VERSION_CHECKSUM:
+        return head + dims + struct.pack("<I", header_checksum(head + dims))
     return head + dims
 
 
@@ -91,7 +119,7 @@ def parse_header(blob: bytes) -> Tuple[StreamHeader, int]:
         raise DecompressionError("bad magic (not a repro stream)")
     if version == 1:
         fixed = _FIXED_V1
-    elif version == VERSION:
+    elif version in (VERSION, VERSION_CHECKSUM):
         fixed = _FIXED_V2
     else:
         raise DecompressionError(f"unsupported stream version {version}")
@@ -107,6 +135,13 @@ def parse_header(blob: bytes) -> Tuple[StreamHeader, int]:
         raise DecompressionError("stream truncated in shape header")
     shape = struct.unpack_from(f"<{ndim}Q", blob, off)
     off += 8 * ndim
+    if version == VERSION_CHECKSUM:
+        if len(blob) < off + 4:
+            raise DecompressionError("stream truncated in header checksum")
+        (stored,) = struct.unpack_from("<I", blob, off)
+        if stored != header_checksum(blob[:off]):
+            raise DecompressionError("header checksum mismatch")
+        off += 4
     return (
         StreamHeader(
             codec_id=codec_id,
@@ -157,9 +192,11 @@ def unpack_sections(blob: bytes, offset: int = 0) -> List[bytes]:
 #
 # Layout:  ndim * u32 nominal chunk shape, u64 n_chunks, then per chunk:
 # ndim * u64 start, ndim * u32 shape, u64 byte offset (relative to the
-# first byte after the index), u64 byte length.  Starts are u64 because
-# they range over the full array extent (which the header stores as u64);
-# chunk *shapes* are bounded by the nominal tile size and fit u32.
+# first byte after the index), u64 byte length, and — in v3 containers
+# only — a trailing u64 blake2s-8 digest of the chunk's stored bytes.
+# Starts are u64 because they range over the full array extent (which the
+# header stores as u64); chunk *shapes* are bounded by the nominal tile
+# size and fit u32.
 
 
 @dataclass(frozen=True)
@@ -170,6 +207,7 @@ class ChunkEntry:
     shape: Tuple[int, ...]
     offset: int  # bytes from the start of the data area
     nbytes: int
+    checksum: Optional[int] = None  # u64 content digest (v3 containers)
 
     @property
     def slices(self) -> Tuple[slice, ...]:
@@ -177,13 +215,18 @@ class ChunkEntry:
         return tuple(slice(s, s + n) for s, n in zip(self.start, self.shape))
 
 
-def chunk_index_size(ndim: int, n_chunks: int) -> int:
+def chunk_index_size(
+    ndim: int, n_chunks: int, with_checksums: bool = False
+) -> int:
     """Exact byte size of a packed chunk index."""
-    return 4 * ndim + 8 + n_chunks * (12 * ndim + 16)
+    entry = (12 * ndim + 24) if with_checksums else (12 * ndim + 16)
+    return 4 * ndim + 8 + n_chunks * entry
 
 
 def pack_chunk_index(
-    chunk_shape: Sequence[int], entries: Sequence[ChunkEntry]
+    chunk_shape: Sequence[int],
+    entries: Sequence[ChunkEntry],
+    with_checksums: bool = False,
 ) -> bytes:
     """Serialize the chunk index (nominal tile shape + per-chunk entries)."""
     ndim = len(chunk_shape)
@@ -195,11 +238,17 @@ def pack_chunk_index(
         parts.append(struct.pack(f"<{ndim}Q", *e.start))
         parts.append(struct.pack(f"<{ndim}I", *e.shape))
         parts.append(struct.pack("<QQ", e.offset, e.nbytes))
+        if with_checksums:
+            if e.checksum is None:
+                raise ValueError(
+                    "v3 chunk index requires a checksum on every entry"
+                )
+            parts.append(struct.pack("<Q", e.checksum))
     return b"".join(parts)
 
 
 def unpack_chunk_index(
-    blob: bytes, offset: int, ndim: int
+    blob: bytes, offset: int, ndim: int, with_checksums: bool = False
 ) -> Tuple[Tuple[int, ...], List[ChunkEntry], int]:
     """Inverse of :func:`pack_chunk_index`.
 
@@ -211,7 +260,7 @@ def unpack_chunk_index(
     offset += 4 * ndim
     (count,) = struct.unpack_from("<Q", blob, offset)
     offset += 8
-    entry_size = 12 * ndim + 16
+    entry_size = (12 * ndim + 24) if with_checksums else (12 * ndim + 16)
     if len(blob) < offset + count * entry_size:
         raise DecompressionError("stream truncated in chunk index entries")
     entries = []
@@ -219,12 +268,16 @@ def unpack_chunk_index(
         start = struct.unpack_from(f"<{ndim}Q", blob, offset)
         shape = struct.unpack_from(f"<{ndim}I", blob, offset + 8 * ndim)
         off, nbytes = struct.unpack_from("<QQ", blob, offset + 12 * ndim)
+        checksum: Optional[int] = None
+        if with_checksums:
+            (checksum,) = struct.unpack_from("<Q", blob, offset + 12 * ndim + 16)
         entries.append(
             ChunkEntry(
                 start=tuple(int(s) for s in start),
                 shape=tuple(int(n) for n in shape),
                 offset=int(off),
                 nbytes=int(nbytes),
+                checksum=checksum,
             )
         )
         offset += entry_size

@@ -48,3 +48,54 @@ class RemoteServiceError(ReproError):
     carrying one message line; the client re-raises it as this type (the
     original class does not survive the wire).
     """
+
+
+class WorkerCrashError(ReproError):
+    """Raised when a job repeatedly crashes worker processes.
+
+    The self-healing pool retries a job whose worker died (the whole
+    batch is not failed for one bad chunk), but a job that breaks the
+    pool ``max_job_crashes`` times is *poisoned*: it fails alone with
+    this error instead of taking the pool down again.
+    """
+
+
+class DeadlineExceededError(ReproError):
+    """Raised when a request misses its client-supplied deadline.
+
+    Covers both lifecycles: a queued job shed before it ever ran, and a
+    running job cancelled by the server-side timeout.  ``stage`` records
+    which one (``"queued"`` or ``"running"``).
+    """
+
+    def __init__(self, deadline_ms: float, stage: str = "running") -> None:
+        super().__init__(
+            f"deadline of {deadline_ms:.3g}ms exceeded while {stage}"
+        )
+        self.deadline_ms = float(deadline_ms)
+        self.stage = str(stage)
+
+
+class ChunkCorruptionError(DecompressionError):
+    """Raised when a stored chunk fails its integrity checksum.
+
+    Carries the chunk's coordinates so callers (and ``repro verify``)
+    can report exactly which region of the array is damaged instead of
+    returning silently wrong bytes.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        start: tuple = (),
+        shape: tuple = (),
+        detail: str = "checksum mismatch",
+    ) -> None:
+        super().__init__(
+            f"chunk {index} at start={tuple(start)} "
+            f"shape={tuple(shape)}: {detail}"
+        )
+        self.index = int(index)
+        self.start = tuple(start)
+        self.shape = tuple(shape)
+        self.detail = str(detail)

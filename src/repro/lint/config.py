@@ -66,6 +66,9 @@ DEFAULT_OPTIONS: Dict[str, Dict[str, object]] = {
         "modules": ["repro/*"],
         "allow_modules": ["repro/parallel/executor.py"],
     },
+    # Fault-recovery paths: pool breaks and deadline expiries must stay
+    # typed — only where the self-healing supervisor lives.
+    "RL009": {"modules": ["repro/service/*", "repro/parallel/*"]},
 }
 
 

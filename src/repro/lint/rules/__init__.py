@@ -9,6 +9,7 @@ from .async_purity import AsyncPurityRule
 from .bounded_decode import BoundedDecodeRule
 from .endianness import ExplicitEndiannessRule
 from .error_handling import BroadExceptRule
+from .fault_paths import FaultPathDisciplineRule
 from .pickle_guard import PickleGuardRule
 from .plan_immutability import FrozenPlanPurityRule, ServiceStateDisciplineRule
 from .wire_format import WireFormatRule
@@ -22,6 +23,7 @@ ALL_RULES: Tuple[Type[Rule], ...] = (
     BroadExceptRule,  # RL006
     ExplicitEndiannessRule,  # RL007
     PickleGuardRule,  # RL008
+    FaultPathDisciplineRule,  # RL009
 )
 
 __all__ = [
@@ -30,6 +32,7 @@ __all__ = [
     "BoundedDecodeRule",
     "BroadExceptRule",
     "ExplicitEndiannessRule",
+    "FaultPathDisciplineRule",
     "FrozenPlanPurityRule",
     "PickleGuardRule",
     "ServiceStateDisciplineRule",

@@ -1,0 +1,125 @@
+"""RL009 — typed-error discipline in fault-recovery paths.
+
+The self-healing layer (PR 8) has exactly two legitimate shapes for a
+``BrokenProcessPool`` / ``BrokenExecutor`` / ``TimeoutError`` handler in
+``service/`` or ``parallel/``:
+
+* **route through the pool supervisor** — call one of the supervisor's
+  recovery entry points (``_note_crash`` / ``_dispatch`` /
+  ``_probe_failed``) or resolve the job explicitly (``set_exception``,
+  ``encode_error``, ``encode_retry``), so the crash feeds the healing
+  state machine or reaches the caller as a typed outcome; or
+* **re-raise a typed error** — ``raise WorkerCrashError(...)`` /
+  ``raise DeadlineExceededError(...)`` etc., i.e. a
+  :class:`~repro.errors.ReproError` subclass the server's error boundary
+  knows how to frame.
+
+Anything else — swallowing the crash, logging and continuing, or
+re-raising the raw infrastructure exception (a *bare* ``raise`` included)
+— leaks an untyped failure past the recovery layer: the pool stays
+bricked or the client sees a one-line ``BrokenProcessPool`` with no
+retry semantics.  The ReproError subclass names are collected from
+:mod:`repro.errors` at rule-construction time, so new typed errors are
+recognized without touching this rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List, Set
+
+from ..engine import Finding, ModuleContext, Rule, dotted_name
+
+__all__ = ["FaultPathDisciplineRule"]
+
+#: exception names (last dotted component) that mark a fault-recovery
+#: handler: a worker-pool break or a deadline/timeout expiry
+_FAULT_EXCEPTIONS = {"BrokenProcessPool", "BrokenExecutor", "TimeoutError"}
+
+_ROUTE_RE = re.compile(
+    r"^(_note_crash|_dispatch|_probe_failed|set_exception"
+    r"|encode_error|encode_retry)$"
+)
+
+
+def _repro_error_names() -> Set[str]:
+    """Every ReproError subclass name, straight from the hierarchy."""
+    from repro.errors import ReproError
+
+    names = set()
+    stack = [ReproError]
+    while stack:
+        cls = stack.pop()
+        names.add(cls.__name__)
+        stack.extend(cls.__subclasses__())
+    return names
+
+
+def _fault_name(type_node: ast.expr) -> str:
+    """The fault exception this handler catches, or ''."""
+    candidates: List[ast.expr]
+    if isinstance(type_node, ast.Tuple):
+        candidates = list(type_node.elts)
+    else:
+        candidates = [type_node]
+    for cand in candidates:
+        name = dotted_name(cand) or ""
+        last = name.rsplit(".", 1)[-1]
+        if last in _FAULT_EXCEPTIONS:
+            return last
+    return ""
+
+
+class FaultPathDisciplineRule(Rule):
+    rule_id = "RL009"
+    name = "fault-path-typed-errors"
+    description = (
+        "BrokenProcessPool/TimeoutError handlers in fault paths must "
+        "re-raise a ReproError subclass or route through the pool "
+        "supervisor"
+    )
+
+    def __init__(self, options=None) -> None:
+        super().__init__(options)
+        self._typed_errors = _repro_error_names()
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler) or node.type is None:
+                continue
+            caught = _fault_name(node.type)
+            if not caught:
+                continue
+            if self._handler_recovers(node):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"except {caught} neither raises a ReproError subclass "
+                f"nor routes through the pool supervisor "
+                f"(_note_crash/_dispatch/_probe_failed/set_exception/"
+                f"encode_error/encode_retry); the crash escapes the "
+                f"recovery layer untyped",
+            )
+
+    def _handler_recovers(self, handler: ast.ExceptHandler) -> bool:
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise):
+                if self._raises_typed(node):
+                    return True
+                continue  # a bare/untyped raise alone is NOT recovery
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func) or ""
+                last = name.rsplit(".", 1)[-1]
+                if _ROUTE_RE.match(last):
+                    return True
+        return False
+
+    def _raises_typed(self, node: ast.Raise) -> bool:
+        exc = node.exc
+        if exc is None:
+            return False  # bare re-raise keeps the untyped exception
+        target = exc.func if isinstance(exc, ast.Call) else exc
+        name = dotted_name(target) or ""
+        return name.rsplit(".", 1)[-1] in self._typed_errors

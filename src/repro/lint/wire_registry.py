@@ -49,6 +49,9 @@ class WireSpec:
 # revision history
 #   header.py    rev 2: v2 header adds a flags byte ("<4sBBBBBd"); v1
 #                ("<4sBBBBd") still readable (PR 2/3 compat contract)
+#   header.py    rev 3: v3 adds a blake2s-4 header checksum ("<I") after
+#                the dims and a blake2s-8 per-chunk digest ("<Q") per
+#                index entry; v1/v2 still readable (PR 8)
 #   container.py rev 1: footer chunk-count "<Q" (PR 3)
 #   protocol.py  rev 2: protocol v2 adds priority + declared-cost fields
 #                to OP_COMPRESS (PR 6); scalar codecs unchanged since v1
@@ -57,7 +60,7 @@ class WireSpec:
 WIRE_SPECS: Tuple[WireSpec, ...] = (
     WireSpec(
         module="repro/core/header.py",
-        revision=2,
+        revision=3,
         formats=(
             "<4sB",  # prefix: magic, version
             "<4sBBBBd",  # fixed v1: magic, version, codec, dtype, ndim, eb
@@ -71,6 +74,7 @@ WIRE_SPECS: Tuple[WireSpec, ...] = (
         constants={
             "MAGIC": b"RPZ1",
             "VERSION": 2,
+            "VERSION_CHECKSUM": 3,
             "FLAG_CHUNKED": 0x01,
         },
     ),

@@ -23,13 +23,32 @@ chunk payloads themselves.
 from __future__ import annotations
 
 import os
+import threading
+import time
 from collections import deque
-from concurrent.futures import ProcessPoolExecutor
-from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
+from concurrent.futures import (
+    Future,
+    InvalidStateError,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures.process import BrokenProcessPool
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
 from repro.compressors.base import decompress_any, get_compressor
+from repro.errors import WorkerCrashError
 
 
 def _compress_one(args) -> bytes:
@@ -38,6 +57,11 @@ def _compress_one(args) -> bytes:
     if plan is not None:
         return codec.compress_with_plan(field, plan, **eb_kwargs)
     return codec.compress(field, **eb_kwargs)
+
+
+def _probe_job(_arg: int = 0) -> int:
+    """Trivial job used to test whether a candidate pool's workers live."""
+    return _arg + 1
 
 
 def _check_plan(plan, codec_name: str) -> None:
@@ -165,7 +189,7 @@ def decompress_blobs_parallel(
 
 
 class ChunkWorkPool:
-    """Long-lived process pool for service-style chunk workloads.
+    """Long-lived, *self-healing* process pool for service workloads.
 
     The batch helpers above spin a pool up per call, which is the right
     shape for a CLI run but exactly wrong for a long-lived server: fork
@@ -176,26 +200,274 @@ class ChunkWorkPool:
     asyncio scheduler needs — ``concurrent.futures`` futures it can wrap
     with ``asyncio.wrap_future`` and interleave across requests.
 
+    On top of that sits a supervisor (see DESIGN.md §12): a worker dying
+    of OOM/segfault bricks a raw ``ProcessPoolExecutor`` permanently
+    (every in-flight future gets ``BrokenProcessPool`` and every later
+    submit re-raises it), so callers never see raw pool futures.  Each
+    submit returns an *outer* future; the supervisor routes the inner
+    pool future's outcome into it and, on a pool break:
+
+    * the first observer of a break (generation-checked, so a batch of
+      simultaneous failures heals once) tears the pool down; the next
+      dispatch builds a fresh one;
+    * the jobs that died are re-dispatched with a bounded per-job crash
+      budget — a job that breaks the pool ``max_job_crashes`` times is
+      *poisoned* and fails alone with :class:`WorkerCrashError` instead
+      of taking the batch (or the pool) with it;
+    * ``max_consecutive_crashes`` breaks with no intervening success
+      degrade the pool to an in-process serial lane (a one-thread
+      executor — submits stay non-blocking), and a periodic probe job on
+      a candidate pool re-promotes to process workers once one survives.
+
+    Every supervisor transition is reported through ``on_event`` (the
+    service wires this to ``ServiceMetrics.pool_event``), and the
+    current mode is visible via :meth:`health`.
+
     Chunk jobs reuse the exact module-level worker functions of the batch
     paths (:func:`_compress_one`, :func:`_decompress_one`), so a stream
     compressed through the pool is byte-identical to one compressed by
-    :func:`compress_chunks_parallel` or inline.
+    :func:`compress_chunks_parallel` or inline — crash retries included,
+    because the payload re-ships verbatim.
     """
 
-    def __init__(self, processes: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        processes: Optional[int] = None,
+        max_job_crashes: int = 2,
+        max_consecutive_crashes: int = 3,
+        probe_interval: float = 5.0,
+        on_event: Optional[Callable[[str], None]] = None,
+        mp_context=None,
+    ) -> None:
         self.processes = processes
+        self.max_job_crashes = int(max_job_crashes)
+        self.max_consecutive_crashes = int(max_consecutive_crashes)
+        self.probe_interval = float(probe_interval)
+        self._on_event = on_event
+        self._mp_context = mp_context
+        self._lock = threading.Lock()
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._serial: Optional[ThreadPoolExecutor] = None
+        self._generation = 0
+        self._consecutive = 0
+        self._degraded = False
+        self._closed = False
+        self._ever_built = False
+        self._probe_inflight = False
+        self._last_probe = 0.0
 
     @property
     def parallel(self) -> bool:
         """Whether submits actually fan out to worker processes."""
         return self.processes is not None and self.processes > 1
 
-    def _ensure_pool(self) -> ProcessPoolExecutor:
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.processes)
-        return self._pool
+    @property
+    def degraded(self) -> bool:
+        """True while jobs run on the in-process serial fallback lane."""
+        return self._degraded
 
+    def health(self) -> Dict[str, Any]:
+        """Supervisor state for the service stats snapshot."""
+        with self._lock:
+            return {
+                "pool_mode": "serial" if self._degraded else "process",
+                "pool_generation": self._generation,
+                "pool_consecutive_crashes": self._consecutive,
+            }
+
+    # ------------------------------------------------------------ supervisor
+    def _emit(self, kind: str) -> None:
+        if self._on_event is not None:
+            self._on_event(kind)
+
+    def _acquire_lane(self):
+        """Pick the executor for one dispatch attempt.
+
+        Returns ``(lane, generation, process_lane, probe_needed)``; the
+        probe kick happens in the caller, outside the lock, because a
+        probe whose future completes synchronously would re-enter it.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("cannot submit to a shut-down ChunkWorkPool")
+            if self._degraded:
+                if self._serial is None:
+                    self._serial = ThreadPoolExecutor(
+                        max_workers=1, thread_name_prefix="repro-serial"
+                    )
+                now = time.monotonic()
+                probe = (
+                    not self._probe_inflight
+                    and now - self._last_probe >= self.probe_interval
+                )
+                if probe:
+                    self._probe_inflight = True
+                    self._last_probe = now
+                return self._serial, self._generation, False, probe
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.processes, mp_context=self._mp_context
+                )
+                if self._ever_built:
+                    self._emit("respawn")
+                self._ever_built = True
+            return self._pool, self._generation, True, False
+
+    def _note_crash(self, gen: int) -> None:
+        """Heal one pool break: teardown now, a fresh pool on next dispatch.
+
+        Every in-flight job of a broken pool observes the same break;
+        the generation counter makes the first observer do the healing
+        and turns the rest into no-ops.
+        """
+        with self._lock:
+            if self._closed or gen != self._generation:
+                return
+            self._generation += 1
+            self._consecutive += 1
+            dead, self._pool = self._pool, None
+            degraded_now = (
+                not self._degraded
+                and self._consecutive >= self.max_consecutive_crashes
+            )
+            if degraded_now:
+                self._degraded = True
+                self._last_probe = time.monotonic()
+        if dead is not None:
+            try:
+                dead.shutdown(wait=False, cancel_futures=True)
+            except (OSError, RuntimeError):
+                pass  # a broken executor may refuse; it is already dead
+        self._emit("crash")
+        if degraded_now:
+            self._emit("degraded")
+
+    def _note_success(self, gen: int) -> None:
+        with self._lock:
+            if gen == self._generation:
+                self._consecutive = 0
+
+    def _start_probe(self) -> None:
+        """Try one job on a candidate process pool; adopt it if it lives."""
+        candidate = ProcessPoolExecutor(
+            max_workers=self.processes, mp_context=self._mp_context
+        )
+        try:
+            fut = candidate.submit(_probe_job)
+        except (BrokenProcessPool, RuntimeError):
+            self._probe_failed(candidate)
+            return
+        fut.add_done_callback(lambda f: self._probe_done(f, candidate))
+
+    def _probe_done(self, fut: Future, candidate: ProcessPoolExecutor) -> None:
+        ok = not fut.cancelled() and fut.exception() is None
+        with self._lock:
+            adopt = ok and self._degraded and not self._closed
+            if adopt:
+                self._pool = candidate
+                self._degraded = False
+                self._consecutive = 0
+                self._generation += 1
+            self._probe_inflight = False
+        if adopt:
+            self._emit("promoted")
+        else:
+            self._probe_failed(candidate, emit=not ok)
+
+    def _probe_failed(
+        self, candidate: ProcessPoolExecutor, emit: bool = True
+    ) -> None:
+        with self._lock:
+            self._probe_inflight = False
+        try:
+            candidate.shutdown(wait=False, cancel_futures=True)
+        except (OSError, RuntimeError):
+            pass
+        if emit:
+            self._emit("probe-failure")
+
+    # -------------------------------------------------------------- dispatch
+    def _submit(self, fn: Callable, payload) -> "Future":
+        outer: Future = Future()
+        self._dispatch(fn, payload, outer, crashes=0)
+        return outer
+
+    def _dispatch(self, fn: Callable, payload, outer: "Future", crashes: int) -> None:
+        while not outer.cancelled():
+            lane, gen, process_lane, probe = self._acquire_lane()
+            if probe:
+                self._start_probe()
+            try:
+                inner = lane.submit(fn, payload)
+            except BrokenProcessPool:
+                # the pool broke between two of our submits; heal and
+                # retry the dispatch (this is a pool fault, not a job
+                # fault — the job never ran, so its crash budget is
+                # untouched)
+                self._note_crash(gen)
+                continue
+            inner.add_done_callback(
+                lambda f: self._job_done(f, fn, payload, outer, crashes, gen, process_lane)
+            )
+            return
+
+    def _job_done(
+        self,
+        inner: "Future",
+        fn: Callable,
+        payload,
+        outer: "Future",
+        crashes: int,
+        gen: int,
+        process_lane: bool,
+    ) -> None:
+        if outer.cancelled():
+            return
+        if inner.cancelled():
+            # only shutdown cancels queued inner futures; mirror it
+            outer.cancel()
+            return
+        exc = inner.exception()
+        if isinstance(exc, BrokenProcessPool):
+            self._note_crash(gen)
+            crashes += 1
+            if crashes >= self.max_job_crashes:
+                self._emit("poisoned")
+                self._set_exception(
+                    outer,
+                    WorkerCrashError(
+                        f"job killed its worker {crashes} times "
+                        f"(pool healed; this job is poisoned)"
+                    ),
+                )
+                return
+            self._emit("retry")
+            self._dispatch(fn, payload, outer, crashes)
+            return
+        if exc is not None:
+            self._set_exception(outer, exc)
+            return
+        if process_lane:
+            self._note_success(gen)
+        self._set_result(outer, inner.result())
+
+    @staticmethod
+    def _set_result(outer: "Future", value) -> None:
+        if not outer.cancelled():
+            try:
+                outer.set_result(value)
+            except InvalidStateError:
+                pass  # lost a race with a caller-side cancel
+
+    @staticmethod
+    def _set_exception(outer: "Future", exc: BaseException) -> None:
+        if not outer.cancelled():
+            try:
+                outer.set_exception(exc)
+            except InvalidStateError:
+                pass  # lost a race with a caller-side cancel
+
+    # ------------------------------------------------------------------- api
     def submit_compress(
         self,
         codec_name: str,
@@ -210,13 +482,24 @@ class ChunkWorkPool:
             codec_name, codec_kwargs or {}, chunk,
             {"error_bound": error_bound}, plan,
         )
-        return self._ensure_pool().submit(_compress_one, job)
+        return self._submit(_compress_one, job)
 
     def submit_decompress(self, blob: bytes):
         """Submit one stream decode; returns a concurrent future."""
-        return self._ensure_pool().submit(_decompress_one, blob)
+        return self._submit(_decompress_one, blob)
 
     def shutdown(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True, cancel_futures=True)
-            self._pool = None
+        """Idempotent teardown that tolerates an already-broken pool."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            pool, self._pool = self._pool, None
+            serial, self._serial = self._serial, None
+        for lane in (pool, serial):
+            if lane is None:
+                continue
+            try:
+                lane.shutdown(wait=True, cancel_futures=True)
+            except (OSError, RuntimeError):
+                pass  # a broken executor may raise on shutdown; it is gone

@@ -47,6 +47,7 @@ never feasibility.  Anonymous requests (no client id) share no bucket.
 from __future__ import annotations
 
 import math
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -592,6 +593,10 @@ class ServiceMetrics:
         self.codec_mbps: Dict[str, Ewma] = {}
         self.connections_total = 0
         self.connections_open = 0
+        self.deadline_shed = {cls: 0 for cls in PRIORITIES}
+        self.deadline_timeouts = {cls: 0 for cls in PRIORITIES}
+        self._pool_lock = threading.Lock()
+        self.pool_events: Dict[str, int] = {}
 
     # ------------------------------------------------------------ transitions
     def admit(self, priority: str, attempt: int = 0) -> None:
@@ -635,6 +640,19 @@ class ServiceMetrics:
     def connection_closed(self) -> None:
         self.connections_open = max(0, self.connections_open - 1)
 
+    def deadline_missed(self, priority: str, stage: str) -> None:
+        """A job missed its client deadline while queued or running."""
+        table = self.deadline_shed if stage == "queued" else self.deadline_timeouts
+        table[priority] += 1
+
+    def pool_event(self, kind: str) -> None:
+        """One worker-pool supervisor transition (crash/retry/respawn/
+        poisoned/degraded/promoted/probe-failure).  Thread-safe: the
+        supervisor reports from executor callback threads, not the loop.
+        """
+        with self._pool_lock:
+            self.pool_events[kind] = self.pool_events.get(kind, 0) + 1
+
     # -------------------------------------------------------------- snapshot
     def snapshot(self) -> Dict[str, Union[int, float]]:
         out: Dict[str, Union[int, float]] = {
@@ -655,8 +673,15 @@ class ServiceMetrics:
             out[f"completed_{cls}"] = self.completed[cls]
             out[f"failed_{cls}"] = self.failed[cls]
             out[f"queue_wait_ms_{cls}"] = round(self.queue_wait_ms[cls].get(), 3)
+        for cls in PRIORITIES:
+            out[f"deadline_shed_{cls}"] = self.deadline_shed[cls]
+            out[f"deadline_timeout_{cls}"] = self.deadline_timeouts[cls]
         for reason, count in sorted(self.reject_reasons.items()):
             out[f"rejects_{reason.replace('-', '_')}"] = count
+        with self._pool_lock:
+            pool_events = dict(self.pool_events)
+        for kind in sorted(pool_events):
+            out[f"pool_{kind.replace('-', '_')}"] = pool_events[kind]
         for codec in sorted(self.codec_jobs):
             out[f"jobs_codec_{codec}"] = self.codec_jobs[codec]
         for codec in sorted(self.codec_mbps):

@@ -24,7 +24,11 @@ Both expose ``compress`` / ``decompress`` / ``read`` / ``stats`` /
 ``ping`` with the same signatures and are context managers.  Work
 requests accept ``priority`` (``interactive`` / ``batch``) and
 ``client_id`` keywords; a constructor-level ``client_id`` is the default
-identity for per-client quota accounting.
+identity for per-client quota accounting.  ``deadline_ms`` attaches a
+server-enforced deadline: a job still queued past it is shed, a running
+one is cancelled, and either way the client gets a one-line error
+(:class:`~repro.errors.DeadlineExceededError` in-process, an ERROR frame
+over the wire) instead of an unbounded wait.
 """
 
 from __future__ import annotations
@@ -75,10 +79,13 @@ def _compress_request(
     per_chunk_tuning: bool,
     priority: str,
     client_id: Optional[str],
+    deadline_ms: Optional[float] = None,
 ) -> protocol.CompressRequest:
     if chunks is not None and not isinstance(chunks, int):
         chunks = tuple(chunks)
     protocol.validate_priority(priority)
+    if deadline_ms is not None:
+        deadline_ms = protocol.validate_deadline_ms(deadline_ms)
     return protocol.CompressRequest(
         data=np.asarray(data),
         codec=codec,
@@ -90,6 +97,7 @@ def _compress_request(
         per_chunk_tuning=per_chunk_tuning,
         priority=priority,
         client_id=client_id,
+        deadline_ms=deadline_ms,
     )
 
 
@@ -131,11 +139,12 @@ class ServiceClient:
         per_chunk_tuning: bool = False,
         priority: str = "interactive",
         client_id: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
     ) -> bytes:
         req = _compress_request(
             data, codec, error_bound, rel_error_bound, chunks,
             codec_kwargs, family, per_chunk_tuning,
-            priority, client_id or self.client_id,
+            priority, client_id or self.client_id, deadline_ms,
         )
         return cast(bytes, self._call(self.service.handle(req)))
 
@@ -144,6 +153,7 @@ class ServiceClient:
         blob: bytes,
         priority: str = "interactive",
         client_id: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
     ) -> np.ndarray:
         protocol.validate_priority(priority)
         return cast(
@@ -154,6 +164,7 @@ class ServiceClient:
                         blob=bytes(blob),
                         priority=priority,
                         client_id=client_id or self.client_id,
+                        deadline_ms=deadline_ms,
                     )
                 )
             ),
@@ -165,6 +176,7 @@ class ServiceClient:
         slab: SlabArg,
         priority: str = "interactive",
         client_id: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
     ) -> np.ndarray:
         protocol.validate_priority(priority)
         return cast(
@@ -176,6 +188,7 @@ class ServiceClient:
                         slab=tuple(slab),
                         priority=priority,
                         client_id=client_id or self.client_id,
+                        deadline_ms=deadline_ms,
                     )
                 )
             ),
@@ -246,6 +259,27 @@ class RemoteClient:
         time.sleep(delay)
         return delay
 
+    def _send_all(self, payload: bytes) -> None:
+        """Send every byte, looping over partial writes explicitly.
+
+        ``socket.sendall`` gives up with the write position unknowable
+        once any single ``send`` fails — after a timeout mid-frame the
+        connection is unusable but the caller cannot tell how much
+        leaked.  An explicit loop always knows the offset, so the error
+        can say how far the frame got (and tests can drive tiny
+        ``SO_SNDBUF`` sockets through the partial-write path).
+        """
+        view = memoryview(payload)
+        sent = 0
+        while sent < len(view):
+            n = self._sock.send(view[sent:])
+            if n == 0:
+                raise RemoteServiceError(
+                    f"connection closed mid-send ({sent} of "
+                    f"{len(view)} bytes written)"
+                )
+            sent += n
+
     def _rpc(self, request: protocol.Request) -> protocol.Response:
         op = protocol.op_for_request(request)
         attempts = self.retries + 1
@@ -253,7 +287,7 @@ class RemoteClient:
             if hasattr(request, "attempt"):
                 request.attempt = attempt
             payload = protocol.frame(protocol.encode_request(request))
-            self._sock.sendall(payload)
+            self._send_all(payload)
             resp = protocol.decode_response(
                 protocol.read_frame_sync(self._sock), op
             )
@@ -285,11 +319,12 @@ class RemoteClient:
         per_chunk_tuning: bool = False,
         priority: str = "interactive",
         client_id: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
     ) -> bytes:
         req = _compress_request(
             data, codec, error_bound, rel_error_bound, chunks,
             codec_kwargs, family, per_chunk_tuning,
-            priority, client_id or self.client_id,
+            priority, client_id or self.client_id, deadline_ms,
         )
         blob = self._rpc(req).blob
         assert blob is not None  # ST_OK compress responses always carry one
@@ -300,6 +335,7 @@ class RemoteClient:
         blob: bytes,
         priority: str = "interactive",
         client_id: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
     ) -> np.ndarray:
         protocol.validate_priority(priority)
         array = self._rpc(
@@ -307,6 +343,7 @@ class RemoteClient:
                 blob=bytes(blob),
                 priority=priority,
                 client_id=client_id or self.client_id,
+                deadline_ms=deadline_ms,
             )
         ).array
         assert array is not None
@@ -318,6 +355,7 @@ class RemoteClient:
         slab: SlabArg,
         priority: str = "interactive",
         client_id: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
     ) -> np.ndarray:
         protocol.validate_priority(priority)
         array = self._rpc(
@@ -326,6 +364,7 @@ class RemoteClient:
                 slab=tuple(slab),
                 priority=priority,
                 client_id=client_id or self.client_id,
+                deadline_ms=deadline_ms,
             )
         ).array
         assert array is not None

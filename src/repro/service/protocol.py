@@ -44,6 +44,7 @@ backpressure/observability frames:
 from __future__ import annotations
 
 import asyncio
+import math
 import socket
 import struct
 from dataclasses import dataclass, field
@@ -299,6 +300,7 @@ class CompressRequest:
     priority: str = "interactive"
     client_id: Optional[str] = None
     attempt: int = 0
+    deadline_ms: Optional[float] = None
 
 
 @dataclass
@@ -307,6 +309,7 @@ class DecompressRequest:
     priority: str = "interactive"
     client_id: Optional[str] = None
     attempt: int = 0
+    deadline_ms: Optional[float] = None
 
 
 @dataclass
@@ -318,6 +321,7 @@ class ReadSlabRequest:
     priority: str = "interactive"
     client_id: Optional[str] = None
     attempt: int = 0
+    deadline_ms: Optional[float] = None
 
 
 @dataclass
@@ -342,6 +346,17 @@ def validate_priority(priority: str) -> str:
     return priority
 
 
+def validate_deadline_ms(deadline_ms) -> float:
+    """A deadline is a finite, positive budget in milliseconds."""
+    try:
+        value = float(deadline_ms)
+    except (TypeError, ValueError):
+        raise ProtocolError(f"bad deadline_ms {deadline_ms!r}") from None
+    if not math.isfinite(value) or value <= 0:
+        raise ProtocolError(f"bad deadline_ms {deadline_ms!r}")
+    return value
+
+
 def _request_writer(op: int, req: Request) -> _Writer:
     """Version + opcode + the v2 meta kv (non-default entries only)."""
     w = _Writer()
@@ -357,6 +372,9 @@ def _request_writer(op: int, req: Request) -> _Writer:
     attempt = int(getattr(req, "attempt", 0))
     if attempt:
         meta["attempt"] = attempt
+    deadline_ms = getattr(req, "deadline_ms", None)
+    if deadline_ms is not None:
+        meta["deadline_ms"] = validate_deadline_ms(deadline_ms)
     w.kv(meta)
     return w
 
@@ -369,6 +387,10 @@ def _apply_meta(req: Request, meta: Dict) -> Request:
         if not isinstance(attempt, int) or attempt < 0:
             raise ProtocolError(f"bad attempt counter {attempt!r}")
         req.attempt = attempt
+        deadline_ms = meta.get("deadline_ms")
+        if deadline_ms is not None:
+            deadline_ms = validate_deadline_ms(deadline_ms)
+        req.deadline_ms = deadline_ms
     return req
 
 
@@ -672,6 +694,7 @@ __all__ = [
     "encode_retry",
     "decode_response",
     "validate_priority",
+    "validate_deadline_ms",
     "frame",
     "read_frame",
     "read_frame_sync",

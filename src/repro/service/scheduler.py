@@ -72,7 +72,11 @@ from repro.chunked.tiling import Slab, grid_for
 from repro.compressors.base import decompress_any, get_compressor
 from repro.core.header import parse_header
 from repro.core.plan_cache import PlanLRU, field_signature, plan_cache_key
-from repro.errors import DecompressionError, ServiceOverloadedError
+from repro.errors import (
+    DeadlineExceededError,
+    DecompressionError,
+    ServiceOverloadedError,
+)
 from repro.parallel.executor import ChunkWorkPool, _decompress_one
 from repro.service.admission import (
     AdmissionController,
@@ -90,6 +94,7 @@ from repro.service.protocol import (
     ReadSlabRequest,
     Request,
     StatsRequest,
+    validate_deadline_ms,
     validate_priority,
 )
 from repro.utils import validate_field_lazy
@@ -143,6 +148,9 @@ class _Job:
     priority: str
     enqueued: float
     started: float = 0.0
+    #: absolute ``time.monotonic()`` deadline (None = no client deadline)
+    deadline: Optional[float] = None
+    deadline_ms: float = 0.0
 
 
 @dataclass
@@ -185,7 +193,11 @@ class CompressionService:
             client_rate=self.config.client_rate,
             client_burst=self.config.client_burst,
         )
-        self._pool = ChunkWorkPool(self.config.processes)
+        # the pool supervisor reports crash/retry/respawn/degrade events
+        # straight into the metrics registry (pool_event is thread-safe)
+        self._pool = ChunkWorkPool(
+            self.config.processes, on_event=self.metrics.pool_event
+        )
         self._threads = ThreadPoolExecutor(
             max_workers=max(2, self.config.io_threads),
             thread_name_prefix="repro-svc",
@@ -256,12 +268,20 @@ class CompressionService:
             raise ServiceOverloadedError(decision.retry_after, decision.reason)
         self.metrics.admit(priority, attempt)
         future = loop.create_future()
+        deadline_ms = getattr(request, "deadline_ms", None)
+        if deadline_ms is not None:
+            deadline_ms = validate_deadline_ms(deadline_ms)
+        now = time.monotonic()
         job = _Job(
             request=request,
             future=future,
             estimate=estimate,
             priority=priority,
-            enqueued=time.monotonic(),
+            enqueued=now,
+            deadline=(
+                now + deadline_ms / 1e3 if deadline_ms is not None else None
+            ),
+            deadline_ms=deadline_ms or 0.0,
         )
         future.add_done_callback(lambda fut, job=job: self._on_job_done(job, fut))
         # depth-only mode is also FIFO-only: everything shares one lane,
@@ -313,6 +333,12 @@ class CompressionService:
             "cost_aware": int(self.config.cost_aware),
             "open_containers": len(self._files),
         }
+        health = self._pool.health()
+        out["pool_degraded"] = int(health["pool_mode"] == "serial")
+        out["pool_generation"] = int(health["pool_generation"])
+        out["pool_consecutive_crashes"] = int(
+            health["pool_consecutive_crashes"]
+        )
         out.update(self.metrics.snapshot())
         out.update(self.admission.stats())
         out.update(self.plans.stats())
@@ -347,11 +373,25 @@ class CompressionService:
 
     async def _run(self) -> None:
         while True:
-            batch = await self._collect_batch()
+            collected = await self._collect_batch()
             now = time.monotonic()
-            for job in batch:
+            batch: List[_Job] = []
+            for job in collected:
+                # queued-past-deadline jobs are shed here, at dispatch:
+                # the work has not started, so failing fast costs nothing
+                # and frees their admission units for live requests
+                if job.deadline is not None and now >= job.deadline:
+                    self.metrics.deadline_missed(job.priority, "queued")
+                    if not job.future.done():
+                        job.future.set_exception(
+                            DeadlineExceededError(job.deadline_ms, "queued")
+                        )
+                    continue
                 job.started = now
                 self.metrics.job_started(job.priority, now - job.enqueued)
+                batch.append(job)
+            if not batch:
+                continue
             self.metrics.batch_dispatched(len(batch), self.config.batch_max)
             try:
                 await self._run_batch(batch)
@@ -389,9 +429,27 @@ class CompressionService:
             await self._run_single(job)
 
     async def _guard(self, job: _Job, coro: Awaitable[object]) -> None:
-        """Await a job coroutine, routing the outcome into its future."""
+        """Await a job coroutine, routing the outcome into its future.
+
+        A job with a client deadline runs under ``asyncio.wait_for``:
+        hitting the deadline cancels the work coroutine (which cascades
+        into the wrapped pool futures, so abandoned chunk results are
+        dropped by the pool supervisor) and resolves the job's future
+        with :class:`DeadlineExceededError` — releasing its admission
+        units through the ordinary ``_on_job_done`` exit path.
+        """
         try:
-            result = await coro
+            if job.deadline is not None:
+                remaining = job.deadline - time.monotonic()
+                result = await asyncio.wait_for(coro, max(0.0, remaining))
+            else:
+                result = await coro
+        except asyncio.TimeoutError:
+            self.metrics.deadline_missed(job.priority, "running")
+            if not job.future.done():
+                job.future.set_exception(
+                    DeadlineExceededError(job.deadline_ms, "running")
+                )
         except (Exception, asyncio.CancelledError) as exc:
             if isinstance(exc, asyncio.CancelledError):
                 raise

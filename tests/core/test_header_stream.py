@@ -9,6 +9,7 @@ from repro.core.engine import InterpPlan, LevelPlan, interp_compress
 from repro.core.header import (
     FLAG_CHUNKED,
     VERSION,
+    VERSION_CHECKSUM,
     ChunkEntry,
     StreamHeader,
     chunk_index_size,
@@ -69,9 +70,35 @@ class TestHeader:
 
     def test_future_version_rejected(self):
         blob = bytearray(pack_header(1, np.dtype(np.float64), (4,), 0.1))
-        blob[4] = VERSION + 1
+        blob[4] = VERSION_CHECKSUM + 1
         with pytest.raises(DecompressionError, match="version"):
             parse_header(bytes(blob))
+
+    def test_v3_header_checksum_roundtrip(self):
+        blob = pack_header(
+            1, np.dtype(np.float64), (4, 8), 0.1, version=VERSION_CHECKSUM
+        )
+        header, off = parse_header(blob)
+        assert header.version == VERSION_CHECKSUM
+        assert header.shape == (4, 8)
+        assert off == len(blob)
+
+    def test_v3_header_checksum_detects_flip(self):
+        blob = bytearray(
+            pack_header(
+                1, np.dtype(np.float64), (4, 8), 0.1, version=VERSION_CHECKSUM
+            )
+        )
+        blob[9] ^= 0x01  # corrupt a byte inside the error-bound field
+        with pytest.raises(DecompressionError, match="checksum"):
+            parse_header(bytes(blob))
+
+    def test_v3_header_truncated_checksum(self):
+        blob = pack_header(
+            1, np.dtype(np.float64), (4,), 0.1, version=VERSION_CHECKSUM
+        )
+        with pytest.raises(DecompressionError, match="truncated"):
+            parse_header(blob[:-2])
 
 
 class TestChunkIndex:

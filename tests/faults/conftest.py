@@ -1,0 +1,13 @@
+"""Shared fixtures for the fault-injection suite."""
+
+import pytest
+
+
+@pytest.fixture
+def pool_events():
+    """Recorder handed to ``ChunkWorkPool(on_event=...)``.
+
+    Callbacks fire on executor threads; ``list.append`` is atomic under
+    the GIL, so a plain list is a safe sink.
+    """
+    return []

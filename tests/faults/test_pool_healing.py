@@ -1,0 +1,152 @@
+"""Kill real workers; assert the ChunkWorkPool supervisor heals.
+
+The contract under test (DESIGN.md §12): a worker death must never leak
+``BrokenProcessPool`` to a caller — in-flight jobs are retried on a
+fresh pool within a bounded crash budget, a job that keeps breaking the
+pool is poisoned *alone*, repeated breaks degrade to an in-process
+serial lane, and a successful probe promotes back to process workers.
+"""
+
+import multiprocessing
+import os
+import pathlib
+import signal
+import time
+
+import pytest
+
+from repro.errors import WorkerCrashError
+from repro.parallel.executor import ChunkWorkPool
+
+#: pid of the pytest process; worker jobs compare against it before
+#: doing anything lethal — on the degraded serial lane they run right
+#: here, where SIGKILL would take pytest down with them
+MAIN_PID = os.getpid()
+
+#: explicit start method — these tests fork fresh pools constantly and
+#: need workers to inherit the parent's imported modules
+FORK_CTX = multiprocessing.get_context("fork")
+
+
+def ok_job(payload):
+    """A job that always succeeds (the control group)."""
+    return payload * 2
+
+
+def kill_worker_job(_payload):
+    """SIGKILL the hosting worker — the canonical pool-breaking fault.
+
+    Returning a sentinel on the serial lane lets tests assert the
+    degraded lane actually served the job.
+    """
+    if os.getpid() != MAIN_PID:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return "served-on-serial-lane"
+
+
+def kill_worker_once_job(marker_path):
+    """SIGKILL the worker on the first run only (marker file = ran before).
+
+    The marker is created *before* the kill, so the retried dispatch of
+    the same job sees it and completes — modeling a transient worker
+    death (OOM spike) rather than a poison input.
+    """
+    if os.getpid() != MAIN_PID and not os.path.exists(marker_path):
+        pathlib.Path(marker_path).touch()
+        os.kill(os.getpid(), signal.SIGKILL)
+    return "ok-after-retry"
+
+
+def make_pool(events, **kwargs):
+    kwargs.setdefault("processes", 2)
+    kwargs.setdefault("mp_context", FORK_CTX)
+    return ChunkWorkPool(on_event=events.append, **kwargs)
+
+
+class TestHealing:
+    def test_transient_worker_death_retries_to_success(
+        self, tmp_path, pool_events
+    ):
+        pool = make_pool(pool_events, max_job_crashes=5)
+        try:
+            marker = str(tmp_path / "crashed-once")
+            bad = pool._submit(kill_worker_once_job, marker)
+            good = [pool._submit(ok_job, i) for i in range(6)]
+            assert bad.result(timeout=120) == "ok-after-retry"
+            # jobs that merely shared the broken pool are re-dispatched
+            # too and still produce correct results
+            assert [f.result(timeout=120) for f in good] == [
+                i * 2 for i in range(6)
+            ]
+        finally:
+            pool.shutdown()
+        assert "crash" in pool_events
+        assert "retry" in pool_events
+        assert "poisoned" not in pool_events
+
+    def test_poisoned_job_fails_alone_pool_survives(self, pool_events):
+        pool = make_pool(pool_events, max_job_crashes=2)
+        try:
+            bad = pool._submit(kill_worker_job, None)
+            with pytest.raises(WorkerCrashError, match="poisoned"):
+                bad.result(timeout=120)
+            # the pool healed: later jobs run on process workers again
+            good = [pool._submit(ok_job, i) for i in range(4)]
+            assert [f.result(timeout=120) for f in good] == [
+                i * 2 for i in range(4)
+            ]
+            assert pool.health()["pool_mode"] == "process"
+        finally:
+            pool.shutdown()
+        assert pool_events.count("poisoned") == 1
+        assert pool_events.count("crash") == 2  # one per crash budget unit
+
+    def test_degrades_to_serial_lane_then_promotes(self, pool_events):
+        pool = make_pool(
+            pool_events,
+            max_job_crashes=10,
+            max_consecutive_crashes=2,
+            probe_interval=0.1,
+        )
+        try:
+            # two consecutive breaks degrade the pool; the third dispatch
+            # of the same job lands on the in-process serial lane, where
+            # the kill is guarded and the job completes
+            fut = pool._submit(kill_worker_job, None)
+            assert fut.result(timeout=120) == "served-on-serial-lane"
+            assert pool.degraded
+            assert pool.health()["pool_mode"] == "serial"
+            assert "degraded" in pool_events
+
+            # keep submitting: each degraded dispatch may kick a probe;
+            # one surviving probe promotes back to process workers
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                assert pool._submit(ok_job, 7).result(timeout=120) == 14
+                if pool.health()["pool_mode"] == "process":
+                    break
+                time.sleep(0.15)
+            else:
+                pytest.fail("pool never promoted back to process mode")
+            assert "promoted" in pool_events
+            # and the promoted pool actually serves on worker processes
+            assert pool._submit(ok_job, 3).result(timeout=120) == 6
+        finally:
+            pool.shutdown()
+
+
+class TestShutdown:
+    def test_shutdown_is_idempotent_and_closes_submission(self, pool_events):
+        pool = make_pool(pool_events)
+        assert pool._submit(ok_job, 1).result(timeout=120) == 2
+        pool.shutdown()
+        pool.shutdown()  # second call is a no-op, not an error
+        with pytest.raises(RuntimeError, match="shut-down"):
+            pool._submit(ok_job, 1)
+
+    def test_shutdown_tolerates_a_broken_pool(self, pool_events):
+        pool = make_pool(pool_events, max_job_crashes=1)
+        with pytest.raises(WorkerCrashError):
+            pool._submit(kill_worker_job, None).result(timeout=120)
+        pool.shutdown()
+        pool.shutdown()

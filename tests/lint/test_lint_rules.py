@@ -226,6 +226,7 @@ def test_rl003_passes_fstring_count_normalization():
         import struct
         MAGIC = b"RPZ1"
         VERSION = 2
+        VERSION_CHECKSUM = 3
         FLAG_CHUNKED = 0x01
         _PREFIX = struct.Struct("<4sB")
         _FIXED_V1 = struct.Struct("<4sBBBBd")
@@ -517,5 +518,89 @@ def test_rl008_dumps_is_fine():
         def save(obj):
             return pickle.dumps(obj)
         """,
+    )
+    assert findings == []
+
+
+# ------------------------------------------------------------------- RL009
+
+
+def test_rl009_fires_on_swallowed_pool_break():
+    findings = run(
+        "RL009",
+        """
+        from concurrent.futures.process import BrokenProcessPool
+
+        def submit(pool, fn):
+            try:
+                return pool.submit(fn)
+            except BrokenProcessPool:
+                return None
+        """,
+        relpath="repro/parallel/executor.py",
+    )
+    assert hits(findings) == [("RL009", 7)]
+
+
+def test_rl009_fires_on_bare_reraise_of_timeout():
+    findings = run(
+        "RL009",
+        """
+        import asyncio
+
+        async def guard(coro, timeout):
+            try:
+                return await asyncio.wait_for(coro, timeout)
+            except asyncio.TimeoutError:
+                raise
+        """,
+        relpath="repro/service/scheduler.py",
+    )
+    assert hits(findings) == [("RL009", 7)]
+
+
+def test_rl009_allows_supervisor_route_and_typed_raise():
+    findings = run(
+        "RL009",
+        """
+        import asyncio
+        from concurrent.futures.process import BrokenProcessPool
+        from repro.errors import DeadlineExceededError, WorkerCrashError
+
+        def dispatch(self, fn, gen):
+            try:
+                return self._pool.submit(fn)
+            except BrokenProcessPool:
+                self._note_crash(gen)
+
+        async def guard(coro, timeout):
+            try:
+                return await asyncio.wait_for(coro, timeout)
+            except asyncio.TimeoutError:
+                raise DeadlineExceededError(timeout * 1e3, "running")
+
+        def finish(outer, exc):
+            try:
+                raise exc
+            except BrokenProcessPool:
+                outer.set_exception(WorkerCrashError("job poisoned"))
+        """,
+        relpath="repro/parallel/executor.py",
+    )
+    assert findings == []
+
+
+def test_rl009_ignores_unscoped_modules():
+    findings = run(
+        "RL009",
+        """
+        def wait(fut):
+            try:
+                return fut.result(1.0)
+            except TimeoutError:
+                return None
+        """,
+        relpath="repro/cli/progress.py",
+        modules=["repro/service/*", "repro/parallel/*"],
     )
     assert findings == []

@@ -31,6 +31,6 @@ if [ "${1:-}" = "--fast" ]; then
 fi
 
 echo "== tier-1 suite =="
-python -m pytest -x -q -m "not soak"
+python -m pytest -x -q -m "not soak and not chaos"
 
 echo "check.sh: all checks passed"
