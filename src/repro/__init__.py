@@ -9,17 +9,21 @@ stand-ins for the paper's six application datasets, a parallel dump/load
 performance model, and a chunked out-of-core container with random-access
 decompression (:mod:`repro.chunked`, ``python -m repro``).
 
-Quickstart::
+Quickstart (the facade — :mod:`repro.api` — routes by arguments alone)::
 
     import numpy as np
-    from repro import QoZ, psnr
+    import repro
 
     data = np.random.default_rng(0).random((64, 64, 64)).astype(np.float32)
-    codec = QoZ(metric="psnr")
-    blob = codec.compress(data, rel_error_bound=1e-3)
-    recon = codec.decompress(blob)
+    blob = repro.compress(data, bound="rel:1e-3")
+    recon = repro.decompress(blob)
     assert np.max(np.abs(recon - data)) <= 1e-3 * (data.max() - data.min())
-    print(len(blob), psnr(data, recon))
+    print(len(blob), repro.psnr(data, recon))
+
+    # chunked container + multi-process fan-out, same call:
+    blob = repro.compress(data, bound="rel:1e-3", chunks=32, processes=4)
+    with repro.open(blob) as f:
+        tile = f.chunk(0)
 """
 
 from repro.errors import (
@@ -34,6 +38,10 @@ __version__ = "1.0.0"
 # public names -> defining module (loaded lazily, PEP 562, so that the
 # encoding/metrics substrates can be used without importing every codec)
 _LAZY = {
+    "compress": "repro.api",
+    "decompress": "repro.api",
+    "open": "repro.api",
+    "ErrorBound": "repro.utils",
     "Compressor": "repro.compressors.base",
     "get_compressor": "repro.compressors.base",
     "available_compressors": "repro.compressors.base",
@@ -44,10 +52,12 @@ _LAZY = {
     "QoZ": "repro.core.qoz",
     "FrozenPlan": "repro.core.plan_cache",
     "ChunkedFile": "repro.chunked",
-    "compress_chunked": "repro.chunked",
-    "compress_chunked_to_file": "repro.chunked",
-    "decompress_chunked": "repro.chunked",
-    "read_hyperslab": "repro.chunked",
+    # deprecated top-level spellings — warning shims; repro.chunked.*
+    # stays the canonical non-deprecated home
+    "compress_chunked": "repro._shims",
+    "compress_chunked_to_file": "repro._shims",
+    "decompress_chunked": "repro._shims",
+    "read_hyperslab": "repro._shims",
     "psnr": "repro.metrics",
     "ssim": "repro.metrics",
     "error_autocorrelation": "repro.metrics",

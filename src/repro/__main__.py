@@ -10,7 +10,7 @@ batch when ``--processes`` > 1), not the field size.
 
 Examples::
 
-    python -m repro compress field.npy field.rpz --codec qoz --chunks 256 --rel-eb 1e-3
+    python -m repro compress field.npy field.rpz --codec qoz --chunks 256 --eb rel:1e-3
     python -m repro compress dataset:miranda:48x64x64 field.rpz --codec sz3 --rel-eb 1e-3
     python -m repro info field.rpz --list-chunks
     python -m repro verify field.rpz
@@ -91,12 +91,30 @@ def _load_input(spec: str) -> np.ndarray:
     return np.load(spec, mmap_mode="r")
 
 
+def _parse_eb(text: str):
+    from repro.errors import CompressionError
+    from repro.utils import ErrorBound
+
+    try:
+        return ErrorBound.parse(text)
+    except CompressionError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
 def _eb_kwargs(args) -> dict:
-    if (args.abs_eb is None) == (args.rel_eb is None):
-        raise SystemExit("error: give exactly one of --abs-eb / --rel-eb")
-    if args.abs_eb is not None:
-        return {"error_bound": args.abs_eb}
-    return {"rel_error_bound": args.rel_eb}
+    from repro.errors import CompressionError
+    from repro.utils import normalize_bound
+
+    given = sum(x is not None for x in (args.eb, args.abs_eb, args.rel_eb))
+    if given != 1:
+        raise SystemExit(
+            "error: give exactly one of --eb / --abs-eb / --rel-eb"
+        )
+    try:
+        spec = normalize_bound(args.eb, args.abs_eb, args.rel_eb)
+    except CompressionError as exc:
+        raise SystemExit(f"error: {exc}")
+    return spec.kwargs()
 
 
 def _cmd_compress(args) -> int:
@@ -299,6 +317,9 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--codec", default="qoz", help="registered codec name (default: qoz)")
     c.add_argument("--chunks", type=_parse_chunks, default=None,
                    help="chunk shape, e.g. '256' or '64,64,32' (default 256/axis)")
+    c.add_argument("--eb", type=_parse_eb, default=None, metavar="SPEC",
+                   help="unified error-bound spec: 'abs:1e-3', 'rel:1e-4', "
+                        "or a bare number (absolute)")
     c.add_argument("--abs-eb", type=float, default=None, help="absolute error bound")
     c.add_argument("--rel-eb", type=float, default=None,
                    help="value-range-relative error bound")

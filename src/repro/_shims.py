@@ -1,0 +1,66 @@
+"""Deprecated top-level entry points, kept alive as warning shims.
+
+Before the :mod:`repro.api` facade, the chunked-container functions were
+re-exported at the package top level (``repro.compress_chunked`` etc.).
+Those spellings now route here: each emits a ``DeprecationWarning``
+naming its facade replacement, then delegates unchanged — behavior and
+bytes are identical, only the name is on notice.
+
+The package-qualified originals (``repro.chunked.compress_chunked``,
+...) are **not** deprecated; internal code and tests use them directly.
+Lint rule RL010 keeps new first-party code off the deprecated top-level
+spellings outside this module and the facade.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, BinaryIO, Optional, Union
+
+import numpy as np
+
+from repro.chunked import api as _chunked
+from repro.chunked.api import PathLike
+from repro.chunked.container import ContainerInfo
+from repro.chunked.tiling import Slab
+
+__all__ = [
+    "compress_chunked",
+    "compress_chunked_to_file",
+    "decompress_chunked",
+    "read_hyperslab",
+]
+
+
+def _warn(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.{old} is deprecated; use {new} "
+        "(the repro.chunked.* spelling also remains supported)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def compress_chunked(*args: Any, **kwargs: Any) -> bytes:
+    _warn("compress_chunked", "repro.compress(..., chunks=...)")
+    return _chunked.compress_chunked(*args, **kwargs)
+
+
+def compress_chunked_to_file(*args: Any, **kwargs: Any) -> ContainerInfo:
+    _warn("compress_chunked_to_file", "repro.compress(..., file=...)")
+    return _chunked.compress_chunked_to_file(*args, **kwargs)
+
+
+def decompress_chunked(
+    source: Union[bytes, PathLike, BinaryIO],
+    processes: Optional[int] = None,
+) -> np.ndarray:
+    _warn("decompress_chunked", "repro.decompress(source)")
+    return _chunked.decompress_chunked(source, processes=processes)
+
+
+def read_hyperslab(
+    source: Union[bytes, PathLike, BinaryIO], slab: Slab
+) -> np.ndarray:
+    _warn("read_hyperslab", "repro.open(source).read(slab)")
+    return _chunked.read_hyperslab(source, slab)

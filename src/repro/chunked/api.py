@@ -40,7 +40,12 @@ from repro.errors import (
     CompressionError,
     DecompressionError,
 )
-from repro.utils import validate_error_bound, validate_field_lazy
+from repro.utils import (
+    BoundLike,
+    ErrorBound,
+    normalize_bound,
+    validate_field_lazy,
+)
 
 PathLike = Union[str, "os.PathLike[str]"]
 
@@ -48,8 +53,7 @@ PathLike = Union[str, "os.PathLike[str]"]
 def _resolve_eb_streaming(
     data: np.ndarray,
     grid: ChunkGrid,
-    error_bound: Optional[float],
-    rel_error_bound: Optional[float],
+    bound: ErrorBound,
 ) -> Tuple[float, Optional[float]]:
     """``(absolute bound, value range | None)`` for the whole field,
     scanning at most a chunk at a time.
@@ -60,13 +64,9 @@ def _resolve_eb_streaming(
     known (and returned) when a relative bound forced the scan; plan
     derivation reuses it instead of re-scanning.
     """
-    if (error_bound is None) == (rel_error_bound is None):
-        raise CompressionError(
-            "specify exactly one of error_bound= or rel_error_bound="
-        )
-    if error_bound is not None:
-        return validate_error_bound(error_bound), None
-    rel = validate_error_bound(rel_error_bound)
+    if not bound.is_relative:
+        return bound.value, None
+    rel = bound.value
     lo, hi = np.inf, -np.inf
     for i in grid:
         chunk = np.asarray(data[grid.chunk_slices(i)])
@@ -92,6 +92,7 @@ def compress_chunked_to_file(
     processes: Optional[int] = None,
     per_chunk_tuning: bool = False,
     plan=None,
+    bound: Optional[BoundLike] = None,
 ) -> ContainerInfo:
     """Tile ``data``, compress every chunk, stream a container to ``file``.
 
@@ -116,12 +117,17 @@ def compress_chunked_to_file(
     :class:`~repro.core.plan_cache.FrozenPlan` (e.g. from the service
     layer's LRU), skipping derivation here entirely; it must come from
     the same codec family or the executor rejects it.
+
+    The bound may be given as the unified ``bound=``
+    (:class:`~repro.utils.ErrorBound` or any spelling its parser
+    accepts) or as exactly one of the legacy kwarg pair.
     """
     data = validate_field_lazy(data)
     codec_kwargs = codec_kwargs or {}
     codec_inst = get_compressor(codec, **codec_kwargs)
     grid = grid_for(data.shape, chunks)
-    eb, vrange = _resolve_eb_streaming(data, grid, error_bound, rel_error_bound)
+    spec = normalize_bound(bound, error_bound, rel_error_bound)
+    eb, vrange = _resolve_eb_streaming(data, grid, spec)
 
     if per_chunk_tuning:
         if plan is not None:
@@ -153,10 +159,10 @@ def compress_chunked_to_file(
             else:
                 from repro.parallel.executor import compress_chunks_streaming
 
-                jobs = (
-                    (i, np.ascontiguousarray(data[grid.chunk_slices(i)]))
-                    for i in grid
-                )
+                # lazy views, not copies: the streaming executor packs
+                # each window's chunks straight into a shared-memory
+                # slab, so the slab fill is the only copy per chunk
+                jobs = ((i, data[grid.chunk_slices(i)]) for i in grid)
                 for i, blob in compress_chunks_streaming(
                     jobs,
                     codec,
@@ -217,6 +223,7 @@ def compress_chunked(
     processes: Optional[int] = None,
     per_chunk_tuning: bool = False,
     plan=None,
+    bound: Optional[BoundLike] = None,
 ) -> bytes:
     """In-memory variant of :func:`compress_chunked_to_file`."""
     import io
@@ -233,6 +240,7 @@ def compress_chunked(
         processes=processes,
         per_chunk_tuning=per_chunk_tuning,
         plan=plan,
+        bound=bound,
     )
     return buf.getvalue()
 
@@ -405,8 +413,55 @@ class ChunkedFile:
             parts.append((i, tuple(src), tuple(dst)))
         return slab, parts
 
-    def read(self, slab: Slab) -> np.ndarray:
-        """Extract an arbitrary hyperslab, decoding only intersecting chunks."""
+    def slab_descriptors(
+        self, slab: Slab
+    ) -> Tuple[
+        Tuple[int, ...],
+        List[Tuple[int, Tuple[Tuple[int, int], ...], Tuple[Tuple[int, int], ...]]],
+    ]:
+        """Descriptor form of :meth:`slab_plan`: pickle-ready int bounds.
+
+        Returns ``(out_shape, parts)`` where each part is
+        ``(chunk_index, src_bounds, dst_bounds)`` with per-axis
+        ``(start, stop)`` pairs — exactly the layout the slab-batched
+        decode job ships across the pool boundary
+        (:meth:`repro.parallel.executor.ChunkWorkPool.submit_decompress_into`),
+        so the service scheduler and :meth:`read` share one plan shape.
+        """
+        slab, parts = self.slab_plan(slab)
+        shape = tuple(s.stop - s.start for s in slab)
+        bounds = [
+            (
+                i,
+                tuple((s.start, s.stop) for s in src),
+                tuple((d.start, d.stop) for d in dst),
+            )
+            for i, src, dst in parts
+        ]
+        return shape, bounds
+
+    def read(
+        self, slab: Slab, processes: Optional[int] = None
+    ) -> np.ndarray:
+        """Extract an arbitrary hyperslab, decoding only intersecting chunks.
+
+        ``processes > 1`` fans the chunk decodes out over a process pool
+        writing into a shared-memory output slab (one worker write per
+        chunk, no result pickling); the default decodes in-process.
+        Both paths execute the same :meth:`slab_plan`, so outputs are
+        bit-identical by construction.
+        """
+        if processes not in (None, 0, 1):
+            shape, bounds = self.slab_descriptors(slab)
+            if len(bounds) > 1:
+                from repro.parallel.executor import decompress_parts_parallel
+
+                jobs = [
+                    (self.chunk_bytes(i), src, dst) for i, src, dst in bounds
+                ]
+                return decompress_parts_parallel(
+                    jobs, shape, self.dtype, processes=processes
+                )
         slab, parts = self.slab_plan(slab)
         out = np.empty(
             tuple(s.stop - s.start for s in slab), dtype=self.dtype
@@ -415,8 +470,12 @@ class ChunkedFile:
             out[dst] = self.chunk(i)[src]
         return out
 
-    def to_array(self) -> np.ndarray:
+    def to_array(self, processes: Optional[int] = None) -> np.ndarray:
         """Decode the whole field."""
+        if processes not in (None, 0, 1) and self.n_chunks > 1:
+            return self.read(
+                tuple(slice(0, n) for n in self.shape), processes=processes
+            )
         out = np.empty(self.shape, dtype=self.dtype)
         for i in self.grid:
             out[self.chunk_slices(i)] = self.chunk(i)
@@ -446,10 +505,13 @@ class ChunkedFile:
         self.close()
 
 
-def decompress_chunked(source: Union[bytes, PathLike, BinaryIO]) -> np.ndarray:
+def decompress_chunked(
+    source: Union[bytes, PathLike, BinaryIO],
+    processes: Optional[int] = None,
+) -> np.ndarray:
     """Decode a whole chunked container back into an array."""
     with ChunkedFile(source) as f:
-        return f.to_array()
+        return f.to_array(processes=processes)
 
 
 def decompress_chunk(

@@ -1,0 +1,102 @@
+"""RL010 — deprecated top-level entry points stay out of first-party code.
+
+The :mod:`repro.api` facade replaced the top-level re-exports of the
+chunked functions (``repro.compress_chunked`` and friends); those names
+survive only as ``DeprecationWarning`` shims in :mod:`repro._shims` for
+external callers mid-migration.  First-party code has no such excuse:
+importing a deprecated spelling inside ``src/`` re-entrenches the
+surface this package is deprecating (and trips CI's
+``-W error::DeprecationWarning`` job from whatever innocent module
+transitively imported it).
+
+Flags, outside the ``allow_modules`` allowlist (the facade and the shim
+module itself):
+
+* ``from repro import <deprecated-name>``;
+* attribute use of a deprecated name, e.g. ``repro.compress_chunked(...)``;
+* any import of ``repro._shims`` — the shim module is an exit ramp, not
+  an API.
+
+The canonical package-qualified spellings
+(``repro.chunked.compress_chunked``) are not deprecated and pass.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+from typing import Dict, Iterator, Set
+
+from ..engine import Finding, ModuleContext, Rule, dotted_name
+
+__all__ = ["DeprecatedEntryRule"]
+
+_SHIM_MODULE = "repro._shims"
+
+
+class DeprecatedEntryRule(Rule):
+    rule_id = "RL010"
+    name = "deprecated-entry"
+    description = (
+        "deprecated top-level entry points only via the facade/shim modules"
+    )
+
+    def _deprecated(self) -> Dict[str, Set[str]]:
+        """``{"repro": {"compress_chunked", ...}}`` from the options."""
+        table: Dict[str, Set[str]] = {}
+        for spec in self.options.get("deprecated", []):
+            module, _, name = str(spec).partition(":")
+            table.setdefault(module, set()).add(name)
+        return table
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        allow = self.options.get("allow_modules", [])
+        if any(fnmatch.fnmatch(ctx.relpath, pat) for pat in allow):
+            return
+        deprecated = self._deprecated()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if module == _SHIM_MODULE:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"import from {_SHIM_MODULE} outside the facade; "
+                        f"the shim module exists only to warn external "
+                        f"callers — call repro.chunked or repro.api "
+                        f"directly",
+                    )
+                    continue
+                names = deprecated.get(module, set())
+                for alias in node.names:
+                    if alias.name in names:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"from {module} import {alias.name} is a "
+                            f"deprecated entry point; use the repro.api "
+                            f"facade (repro.compress/decompress/open) or "
+                            f"the canonical {module}.chunked spelling",
+                        )
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == _SHIM_MODULE:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"import {_SHIM_MODULE} outside the facade; "
+                            f"the shim module exists only to warn "
+                            f"external callers",
+                        )
+            elif isinstance(node, ast.Attribute):
+                name = dotted_name(node) or ""
+                module, _, attr = name.rpartition(".")
+                if attr in deprecated.get(module, set()):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{name} is a deprecated entry point; use the "
+                        f"repro.api facade (repro.compress/decompress/"
+                        f"open) or the canonical {module}.chunked "
+                        f"spelling",
+                    )

@@ -55,6 +55,9 @@ class WireSpec:
 #   container.py rev 1: footer chunk-count "<Q" (PR 3)
 #   protocol.py  rev 2: protocol v2 adds priority + declared-cost fields
 #                to OP_COMPRESS (PR 6); scalar codecs unchanged since v1
+#   slab.py      rev 1: shared-memory batch descriptors — cross a process
+#                boundary via the pool's pickle channel, not a socket,
+#                but the tuple layout is an IPC contract all the same
 # ---------------------------------------------------------------------------
 
 WIRE_SPECS: Tuple[WireSpec, ...] = (
@@ -84,6 +87,15 @@ WIRE_SPECS: Tuple[WireSpec, ...] = (
         formats=(
             "<Q",  # chunk count read from the index prelude
         ),
+    ),
+    WireSpec(
+        module="repro/parallel/slab.py",
+        revision=1,
+        formats=(),  # descriptors ride multiprocessing's pickle, no struct
+        constants={
+            "SLAB_BATCH_VERSION": 1,
+            "SLAB_DESCRIPTOR_LAYOUT": "offset,shape,dtype",
+        },
     ),
     WireSpec(
         module="repro/service/protocol.py",

@@ -16,14 +16,20 @@ from repro.parallel.executor import (
     compress_chunks_streaming,
     compress_fields_parallel,
     decompress_blobs_parallel,
+    decompress_parts_parallel,
 )
+from repro.parallel.slab import ChunkDescriptor, Slab, active_slab_names
 
 __all__ = [
+    "ChunkDescriptor",
     "ChunkWorkPool",
     "IOSystemModel",
+    "Slab",
+    "active_slab_names",
     "dump_load_series",
     "compress_chunks_parallel",
     "compress_chunks_streaming",
     "compress_fields_parallel",
     "decompress_blobs_parallel",
+    "decompress_parts_parallel",
 ]

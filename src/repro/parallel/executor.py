@@ -18,6 +18,16 @@ half of the codec (no per-chunk sampling / selection / tuning), which is
 where chunked QoZ compression used to burn most of its time.  The plan
 pickles in a few hundred bytes, so broadcasting it is free next to the
 chunk payloads themselves.
+
+Chunk *payloads* no longer ride the pickle channel at all: the streaming
+path and the service pool pack many chunks into one shared-memory slab
+(:mod:`repro.parallel.slab`), workers attach by name and compress sliced
+views, and the submitted job is just ``(slab_name, descriptors, codec,
+…)`` — a few hundred bytes for a whole batch.  Batching many chunks per
+submit also amortizes the per-job dispatch overhead that used to
+dominate small-chunk fan-outs.  Decompression reverses the flow: blobs
+(small) ship pickled, workers write decoded regions straight into a
+shared *output* slab owned by the caller.
 """
 
 from __future__ import annotations
@@ -49,6 +59,7 @@ import numpy as np
 
 from repro.compressors.base import decompress_any, get_compressor
 from repro.errors import WorkerCrashError
+from repro.parallel.slab import Slab, attach_slab, detach_slab
 
 
 def _compress_one(args) -> bytes:
@@ -76,6 +87,63 @@ def _check_plan(plan, codec_name: str) -> None:
 
 def _decompress_one(blob: bytes) -> np.ndarray:
     return decompress_any(blob)
+
+
+def _compress_batch(args) -> List[bytes]:
+    """Worker: compress every chunk described by one slab batch.
+
+    ``args`` is ``(slab_name, descriptors, codec_name, codec_kwargs,
+    eb_kwargs, plan)`` where each descriptor is ``(offset, shape,
+    dtype)`` into the named input slab (layout pinned by
+    ``slab.SLAB_DESCRIPTOR_LAYOUT`` in the wire registry).  The worker
+    never takes slab ownership; re-dispatch after a crash ships the
+    identical descriptors, so retried streams stay byte-identical.
+    """
+    slab_name, descriptors, codec_name, codec_kwargs, eb_kwargs, plan = args
+    codec = get_compressor(codec_name, **codec_kwargs)
+    shm = attach_slab(slab_name)
+    try:
+        blobs: List[bytes] = []
+        for offset, shape, dtype in descriptors:
+            view = np.ndarray(
+                tuple(shape), dtype=np.dtype(dtype),
+                buffer=shm.buf, offset=offset,
+            )
+            if plan is not None:
+                blobs.append(codec.compress_with_plan(view, plan, **eb_kwargs))
+            else:
+                blobs.append(codec.compress(view, **eb_kwargs))
+            del view  # views must die before the mapping closes
+        return blobs
+    finally:
+        detach_slab(shm)
+
+
+def _decompress_into_batch(args) -> int:
+    """Worker: decode blobs and write regions into a shared output slab.
+
+    ``args`` is ``(slab_name, out_shape, out_dtype, parts)`` with each
+    part ``(blob, src_bounds, dst_bounds)``; bounds are per-axis
+    ``(start, stop)`` pairs (plain ints pickle smaller than slice
+    objects and keep the job layout introspectable).  Writes are
+    idempotent — a crash retry rewrites the same values — so this rides
+    the supervisor's heal/retry paths unchanged.
+    """
+    slab_name, out_shape, out_dtype, parts = args
+    shm = attach_slab(slab_name)
+    try:
+        out = np.ndarray(
+            tuple(out_shape), dtype=np.dtype(out_dtype), buffer=shm.buf
+        )
+        for blob, src_bounds, dst_bounds in parts:
+            src = tuple(slice(a, b) for a, b in src_bounds)
+            dst = tuple(slice(a, b) for a, b in dst_bounds)
+            out[dst] = decompress_any(blob)[src]
+        done = len(parts)
+        del out  # views must die before the mapping closes
+        return done
+    finally:
+        detach_slab(shm)
 
 
 def compress_fields_parallel(
@@ -127,16 +195,25 @@ def compress_chunks_parallel(
         raise ValueError("compress_chunks_parallel needs an absolute error_bound")
     _check_plan(plan, codec_name)
     codec_kwargs = codec_kwargs or {}
-    jobs = [
-        (codec_name, codec_kwargs, c, {"error_bound": error_bound}, plan)
-        for c in chunks
-    ]
-    if processes == 1 or len(jobs) <= 1:
+    if processes == 1 or len(chunks) <= 1:
+        jobs = [
+            (codec_name, codec_kwargs, c, {"error_bound": error_bound}, plan)
+            for c in chunks
+        ]
         return [_compress_one(j) for j in jobs]
-    with ProcessPoolExecutor(max_workers=processes) as pool:
-        workers = processes or os.cpu_count() or 1
-        chunksize = max(1, len(jobs) // (workers * 4))
-        return list(pool.map(_compress_one, jobs, chunksize=chunksize))
+    # multi-process: ride the slab-batched streaming fan-out so both
+    # entry points share one IPC mechanism (and its byte-identity tests)
+    results: List[Optional[bytes]] = [None] * len(chunks)
+    for i, blob in compress_chunks_streaming(
+        enumerate(chunks),
+        codec_name,
+        codec_kwargs,
+        error_bound=error_bound,
+        processes=processes,
+        plan=plan,
+    ):
+        results[i] = blob
+    return results  # type: ignore[return-value]  # every index was yielded
 
 
 def compress_chunks_streaming(
@@ -147,13 +224,20 @@ def compress_chunks_streaming(
     processes: Optional[int] = None,
     window: Optional[int] = None,
     plan=None,
+    batch_chunks: Optional[int] = None,
 ):
     """Yield ``(index, blob)`` for a stream of chunk jobs, in submit order.
 
     One process pool serves the whole iteration (no per-batch pool
-    startup), and at most ``window`` jobs (default ``4 * workers``) are
-    in flight at a time — so peak memory is bounded by the window, not
-    the field, even when ``chunks`` lazily slices a memory-mapped array.
+    startup).  Chunks are packed ``batch_chunks`` at a time into a
+    shared-memory slab (:mod:`repro.parallel.slab`) and submitted as one
+    descriptor job, so the pickle channel carries bytes proportional to
+    the batch *count*, not the chunk payloads.  At most ``window``
+    chunks (default ``4 * workers``) are slab-resident at a time — peak
+    memory stays bounded by the window, not the field, even when
+    ``chunks`` lazily slices a memory-mapped array.  Every slab is
+    released as soon as its batch's results are consumed, and
+    unconditionally when the generator is closed early or a job raises.
     Same absolute-bound contract (and same optional shared ``plan``) as
     :func:`compress_chunks_parallel`.
     """
@@ -161,21 +245,66 @@ def compress_chunks_streaming(
         raise ValueError("compress_chunks_streaming needs an absolute error_bound")
     _check_plan(plan, codec_name)
     codec_kwargs = codec_kwargs or {}
-    win = window or 4 * max(1, processes or os.cpu_count() or 1)
+    workers = max(1, processes or os.cpu_count() or 1)
+    win = window or 4 * workers
+    if batch_chunks is None:
+        # enough batches to keep every worker busy twice over the window
+        batch_chunks = max(1, win // (2 * workers))
+    eb_kwargs = {"error_bound": error_bound}
     with ProcessPoolExecutor(max_workers=processes) as pool:
-        pending: Deque = deque()
-        for index, array in chunks:
-            job = (
-                codec_name, codec_kwargs, array,
-                {"error_bound": error_bound}, plan,
+        #: in-flight batches: (chunk indices, owning slab, inner future)
+        pending: "Deque[Tuple[List[int], Slab, Future]]" = deque()
+        inflight = 0
+        batch_idx: List[int] = []
+        batch_arrays: List[np.ndarray] = []
+
+        def flush_batch() -> None:
+            nonlocal inflight
+            if not batch_idx:
+                return
+            slab = Slab.create(
+                max(1, sum(int(a.nbytes) for a in batch_arrays))
             )
-            pending.append((index, pool.submit(_compress_one, job)))
-            if len(pending) >= win:
-                i, fut = pending.popleft()
-                yield i, fut.result()
-        while pending:
-            i, fut = pending.popleft()
-            yield i, fut.result()
+            descriptors = slab.pack(batch_arrays)
+            job = (
+                slab.name, tuple(descriptors), codec_name, codec_kwargs,
+                eb_kwargs, plan,
+            )
+            fut = pool.submit(_compress_batch, job)
+            pending.append((list(batch_idx), slab, fut))
+            inflight += len(batch_idx)
+            batch_idx.clear()
+            batch_arrays.clear()
+
+        def drain_oldest() -> "List[Tuple[int, bytes]]":
+            nonlocal inflight
+            indices, slab, fut = pending.popleft()
+            try:
+                blobs = fut.result()
+            finally:
+                slab.release()
+            inflight -= len(indices)
+            return list(zip(indices, blobs))
+
+        try:
+            for index, array in chunks:
+                batch_idx.append(index)
+                batch_arrays.append(array)
+                if len(batch_idx) >= batch_chunks:
+                    flush_batch()
+                while inflight >= win:
+                    for pair in drain_oldest():
+                        yield pair
+            flush_batch()
+            while pending:
+                for pair in drain_oldest():
+                    yield pair
+        finally:
+            # early close / job failure: no slab outlives the generator
+            while pending:
+                _, slab, fut = pending.popleft()
+                fut.cancel()
+                slab.release()
 
 
 def decompress_blobs_parallel(
@@ -186,6 +315,48 @@ def decompress_blobs_parallel(
         return [_decompress_one(b) for b in blobs]
     with ProcessPoolExecutor(max_workers=processes) as pool:
         return list(pool.map(_decompress_one, blobs))
+
+
+def decompress_parts_parallel(
+    parts: Sequence[Tuple[bytes, tuple, tuple]],
+    out_shape: Sequence[int],
+    out_dtype,
+    processes: Optional[int] = None,
+) -> np.ndarray:
+    """Decode ``(blob, src_bounds, dst_bounds)`` parts into one array.
+
+    Workers write decoded regions straight into a shared output slab —
+    decoded chunks are never pickled back.  The regions of a hyperslab
+    plan are disjoint by construction, so concurrent writes never
+    overlap.  Parts are dealt round-robin into one batch per worker
+    (times two, for stragglers) to amortize dispatch.
+    """
+    out_dtype = np.dtype(out_dtype)
+    out_shape = tuple(int(n) for n in out_shape)
+    workers = max(1, processes or os.cpu_count() or 1)
+    nbytes = out_dtype.itemsize * int(np.prod(out_shape, dtype=np.int64))
+    slab = Slab.create(max(1, nbytes))
+    try:
+        with ProcessPoolExecutor(max_workers=processes) as pool:
+            n_batches = max(1, min(len(parts), workers * 2))
+            futures = [
+                pool.submit(
+                    _decompress_into_batch,
+                    (
+                        slab.name, out_shape, out_dtype.str,
+                        tuple(parts[b::n_batches]),
+                    ),
+                )
+                for b in range(n_batches)
+            ]
+            for fut in futures:
+                fut.result()
+        view = slab.view(0, out_shape, out_dtype)
+        result = np.array(view)  # copy out before the slab is unlinked
+        del view
+        return result
+    finally:
+        slab.release()
 
 
 class ChunkWorkPool:
@@ -224,10 +395,15 @@ class ChunkWorkPool:
     current mode is visible via :meth:`health`.
 
     Chunk jobs reuse the exact module-level worker functions of the batch
-    paths (:func:`_compress_one`, :func:`_decompress_one`), so a stream
-    compressed through the pool is byte-identical to one compressed by
-    :func:`compress_chunks_parallel` or inline — crash retries included,
-    because the payload re-ships verbatim.
+    paths (:func:`_compress_one`, :func:`_decompress_one`,
+    :func:`_compress_batch`, :func:`_decompress_into_batch`), so a
+    stream compressed through the pool is byte-identical to one
+    compressed by :func:`compress_chunks_parallel` or inline — crash
+    retries included, because the payload (or slab descriptor) re-ships
+    verbatim.  Slab-batched submits keep slab OWNERSHIP with the caller:
+    the pool never unlinks a slab, so heal/retry/poison can re-dispatch
+    the same descriptors, and the caller releases the slab once the
+    outer future resolves (or is cancelled by a deadline shed).
     """
 
     def __init__(
@@ -487,6 +663,50 @@ class ChunkWorkPool:
     def submit_decompress(self, blob: bytes):
         """Submit one stream decode; returns a concurrent future."""
         return self._submit(_decompress_one, blob)
+
+    def submit_compress_batch(
+        self,
+        codec_name: str,
+        codec_kwargs: Optional[Dict],
+        slab_name: str,
+        descriptors: Sequence[Tuple[int, Tuple[int, ...], str]],
+        error_bound: float,
+        plan=None,
+    ):
+        """Submit one slab batch of chunk compressions (one future, many
+        chunks).  The future resolves to the list of streams in
+        descriptor order.  The caller owns the slab and must keep it
+        alive until the future resolves — crash retries re-attach it.
+        """
+        _check_plan(plan, codec_name)
+        job = (
+            slab_name, tuple(descriptors), codec_name, codec_kwargs or {},
+            {"error_bound": error_bound}, plan,
+        )
+        return self._submit(_compress_batch, job)
+
+    def submit_decompress_into(
+        self,
+        slab_name: str,
+        out_shape: Sequence[int],
+        out_dtype: str,
+        parts: Sequence[Tuple[bytes, tuple, tuple]],
+    ):
+        """Submit one batch of region decodes into a shared output slab.
+
+        Each part is ``(blob, src_bounds, dst_bounds)`` with per-axis
+        ``(start, stop)`` pairs; the worker writes ``decoded[src]`` into
+        ``out[dst]``.  Writes are idempotent, so the supervisor's retry
+        path needs no special casing.  Slab ownership stays with the
+        caller (same contract as :meth:`submit_compress_batch`).
+        """
+        job = (
+            slab_name,
+            tuple(int(n) for n in out_shape),
+            str(out_dtype),
+            tuple(parts),
+        )
+        return self._submit(_decompress_into_batch, job)
 
     def shutdown(self) -> None:
         """Idempotent teardown that tolerates an already-broken pool."""

@@ -61,6 +61,7 @@ from repro.errors import (
 )
 from repro.service import protocol
 from repro.service.scheduler import CompressionService, ServiceConfig
+from repro.utils import BoundLike
 
 _T = TypeVar("_T")
 
@@ -80,6 +81,7 @@ def _compress_request(
     priority: str,
     client_id: Optional[str],
     deadline_ms: Optional[float] = None,
+    bound: Optional[BoundLike] = None,
 ) -> protocol.CompressRequest:
     if chunks is not None and not isinstance(chunks, int):
         chunks = tuple(chunks)
@@ -98,6 +100,7 @@ def _compress_request(
         priority=priority,
         client_id=client_id,
         deadline_ms=deadline_ms,
+        bound=bound,
     )
 
 
@@ -140,11 +143,12 @@ class ServiceClient:
         priority: str = "interactive",
         client_id: Optional[str] = None,
         deadline_ms: Optional[float] = None,
+        bound: Optional[BoundLike] = None,
     ) -> bytes:
         req = _compress_request(
             data, codec, error_bound, rel_error_bound, chunks,
             codec_kwargs, family, per_chunk_tuning,
-            priority, client_id or self.client_id, deadline_ms,
+            priority, client_id or self.client_id, deadline_ms, bound,
         )
         return cast(bytes, self._call(self.service.handle(req)))
 
@@ -320,11 +324,12 @@ class RemoteClient:
         priority: str = "interactive",
         client_id: Optional[str] = None,
         deadline_ms: Optional[float] = None,
+        bound: Optional[BoundLike] = None,
     ) -> bytes:
         req = _compress_request(
             data, codec, error_bound, rel_error_bound, chunks,
             codec_kwargs, family, per_chunk_tuning,
-            priority, client_id or self.client_id, deadline_ms,
+            priority, client_id or self.client_id, deadline_ms, bound,
         )
         blob = self._rpc(req).blob
         assert blob is not None  # ST_OK compress responses always carry one

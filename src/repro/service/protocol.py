@@ -52,7 +52,8 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.errors import ProtocolError
+from repro.errors import CompressionError, ProtocolError
+from repro.utils import BoundLike, normalize_bound
 
 PROTOCOL_VERSION = 2
 
@@ -287,6 +288,12 @@ class CompressRequest:
     byte-identical content-keyed default.  ``priority`` / ``client_id``
     / ``attempt`` are the admission metadata every schedulable request
     carries (see the module docstring).
+
+    The error bound may be the unified ``bound``
+    (:class:`~repro.utils.ErrorBound` or any spelling it parses) or
+    exactly one of the legacy kwarg pair; all three spellings normalize
+    to the same ``(mode u8, value f64)`` wire fields, so the frame
+    bytes never depend on which one the caller used.
     """
 
     data: np.ndarray
@@ -301,6 +308,7 @@ class CompressRequest:
     client_id: Optional[str] = None
     attempt: int = 0
     deadline_ms: Optional[float] = None
+    bound: Optional[BoundLike] = None
 
 
 @dataclass
@@ -401,16 +409,14 @@ def encode_request(req: Request) -> bytes:
         w = _request_writer(OP_COMPRESS, req)
         w.string(req.codec)
         w.kv(req.codec_kwargs)
-        if (req.error_bound is None) == (req.rel_error_bound is None):
-            raise ProtocolError(
-                "specify exactly one of error_bound= or rel_error_bound="
+        try:
+            spec = normalize_bound(
+                req.bound, req.error_bound, req.rel_error_bound
             )
-        if req.error_bound is not None:
-            w.u8(0)
-            w.f64(req.error_bound)
-        else:
-            w.u8(1)
-            w.f64(req.rel_error_bound)
+        except CompressionError as exc:
+            raise ProtocolError(str(exc)) from None
+        w.u8(1 if spec.is_relative else 0)
+        w.f64(spec.value)
         # scalar (broadcast to every axis) and per-axis tuple are distinct
         # specs — a (4,) tuple must round-trip as a rank-1 requirement,
         # not silently become a broadcast 4

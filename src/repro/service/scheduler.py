@@ -78,6 +78,7 @@ from repro.errors import (
     ServiceOverloadedError,
 )
 from repro.parallel.executor import ChunkWorkPool, _decompress_one
+from repro.parallel.slab import Slab as ShmSlab
 from repro.service.admission import (
     AdmissionController,
     AdmissionLimits,
@@ -97,7 +98,16 @@ from repro.service.protocol import (
     validate_deadline_ms,
     validate_priority,
 )
-from repro.utils import validate_field_lazy
+from repro.utils import normalize_bound, validate_field_lazy
+
+
+#: chunks packed per shared-memory slab batch on the pooled compress
+#: path; with the 4x-workers resident-chunk window this yields
+#: 2x-workers in-flight batches — enough to keep every worker busy with
+#: one batch queued behind it, while one submit amortizes the dispatch
+#: overhead of _COMPRESS_BATCH_CHUNKS chunks (matches the default
+#: batch sizing of compress_chunks_streaming)
+_COMPRESS_BATCH_CHUNKS = 2
 
 
 @dataclass
@@ -165,10 +175,6 @@ class _PreparedCompress:
     plan: Optional[object]
     data: np.ndarray
     dtype: np.dtype
-
-    def chunk_at(self, index: int) -> np.ndarray:
-        """Contiguous copy of one chunk (sliced on demand, never stored)."""
-        return np.ascontiguousarray(self.data[self.grid.chunk_slices(index)])
 
 
 class CompressionService:
@@ -251,6 +257,19 @@ class CompressionService:
         the client's token bucket (see :mod:`repro.service.admission`).
         """
         loop = asyncio.get_running_loop()
+        if (
+            isinstance(request, CompressRequest)
+            and request.bound is not None
+        ):
+            # fold the unified bound= spelling into the legacy kwarg pair
+            # once, at admission, so the cost model, the plan-cache key,
+            # and derivation all see one canonical form
+            spec = normalize_bound(
+                request.bound, request.error_bound, request.rel_error_bound
+            )
+            request.bound = None
+            request.error_bound = None if spec.is_relative else spec.value
+            request.rel_error_bound = spec.value if spec.is_relative else None
         priority = validate_priority(
             getattr(request, "priority", "interactive")
         )
@@ -478,12 +497,20 @@ class CompressionService:
         if self._pool.parallel:
             # every job in the group submits into the shared pool
             # concurrently (the per-codec batching win), but a group-wide
-            # window bounds in-flight chunk copies at 4x the worker count
-            # — the same cap compress_chunks_streaming uses, so a batch
-            # of large fields cannot hold 2x-everything resident at once.
-            # _guard routes any failure (incl. a BrokenProcessPool on
-            # submit) into the job's future, never into the scheduler.
-            window = asyncio.Semaphore(4 * max(1, self.config.processes))
+            # window bounds in-flight slab batches: with
+            # _COMPRESS_BATCH_CHUNKS chunks per slab this is the same
+            # 4x-workers cap on resident chunk copies that
+            # compress_chunks_streaming uses, so a batch of large fields
+            # cannot hold 2x-everything resident at once.  _guard routes
+            # any failure (incl. a BrokenProcessPool on submit) into the
+            # job's future, never into the scheduler.
+            window = asyncio.Semaphore(
+                max(
+                    1,
+                    4 * max(1, self.config.processes)
+                    // _COMPRESS_BATCH_CHUNKS,
+                )
+            )
             await asyncio.gather(*[
                 self._guard(job, self._compress_pooled(prep, window))
                 for job, prep in zip(jobs, prepared)
@@ -502,21 +529,15 @@ class CompressionService:
         data = validate_field_lazy(req.data)
         codec_inst = get_compressor(req.codec, **req.codec_kwargs)
         grid = grid_for(data.shape, req.chunks)
-        eb, vrange = _resolve_eb_streaming(
-            data, grid, req.error_bound, req.rel_error_bound
-        )
+        spec = normalize_bound(None, req.error_bound, req.rel_error_bound)
+        eb, vrange = _resolve_eb_streaming(data, grid, spec)
         plan = None
         if not req.per_chunk_tuning and hasattr(codec_inst, "derive_plan"):
-            mode, bound = (
-                ("abs", req.error_bound)
-                if req.error_bound is not None
-                else ("rel", req.rel_error_bound)
-            )
             key = plan_cache_key(
                 req.codec,
                 req.codec_kwargs,
-                mode,
-                bound,
+                spec.mode,
+                spec.value,
                 field_signature(data, req.family),
             )
             plan = self.plans.get_or_derive(
@@ -536,25 +557,56 @@ class CompressionService:
             dtype=data.dtype,
         )
 
+    def _fill_slab(
+        self, prep: _PreparedCompress, indices: List[int]
+    ) -> Tuple[ShmSlab, List[tuple]]:
+        """Blocking half of one slab batch: slice, allocate, pack.
+
+        Runs on the thread executor (slab fill is a memcpy).  On a pack
+        failure the slab is released here — afterwards the caller owns
+        it and releases it when the pool future resolves.
+        """
+        views = [prep.data[prep.grid.chunk_slices(i)] for i in indices]
+        slab = ShmSlab.create(max(1, sum(int(v.nbytes) for v in views)))
+        try:
+            descriptors = slab.pack(views)
+        except BaseException:
+            slab.release()
+            raise
+        return slab, list(descriptors)
+
     async def _compress_pooled(
         self, prep: _PreparedCompress, window: asyncio.Semaphore
     ) -> bytes:
         loop = asyncio.get_running_loop()
+        size = _COMPRESS_BATCH_CHUNKS
 
-        async def one(index: int) -> bytes:
-            async with window:  # held from slice to completion: the
-                # number of live chunk copies never exceeds the window
-                chunk = await loop.run_in_executor(
-                    self._threads, prep.chunk_at, index
+        async def one_batch(indices: List[int]) -> List[bytes]:
+            async with window:  # held from slab fill to completion: the
+                # bytes of live slabs never exceed the window's batches
+                slab, descriptors = await loop.run_in_executor(
+                    self._threads, self._fill_slab, prep, indices
                 )
-                return await asyncio.wrap_future(
-                    self._pool.submit_compress(
-                        prep.codec_name, prep.codec_kwargs,
-                        chunk, prep.eb, prep.plan,
+                try:
+                    blobs = await asyncio.wrap_future(
+                        self._pool.submit_compress_batch(
+                            prep.codec_name, prep.codec_kwargs,
+                            slab.name, descriptors, prep.eb, prep.plan,
+                        )
                     )
-                )
+                finally:
+                    # every exit path — success, job failure, deadline
+                    # cancellation — unlinks the slab; a worker that is
+                    # still mapped keeps its view alive until it closes
+                    slab.release()
+                return list(blobs)
 
-        blobs = await asyncio.gather(*[one(i) for i in prep.grid])
+        indices = [i for i in prep.grid]
+        groups = [
+            indices[k:k + size] for k in range(0, len(indices), size)
+        ]
+        blob_lists = await asyncio.gather(*[one_batch(g) for g in groups])
+        blobs = [b for lst in blob_lists for b in lst]
         return await loop.run_in_executor(
             self._threads, self._assemble_container, prep, blobs
         )
@@ -698,26 +750,71 @@ class CompressionService:
         norm, parts = cf.slab_plan(slab)
         out_shape = tuple(s.stop - s.start for s in norm)
         self._check_decode_size(out_shape, cf.dtype, "hyperslab")
-        out = np.empty(out_shape, dtype=cf.dtype)
         if not parts:
-            return out
+            return np.empty(out_shape, dtype=cf.dtype)
         blobs = await asyncio.gather(*[
             loop.run_in_executor(self._threads, cf.chunk_bytes, i)
             for i, _, _ in parts
         ])
         if self._pool.parallel and len(parts) > 1:
-            chunks = await asyncio.gather(*[
-                asyncio.wrap_future(self._pool.submit_decompress(b))
-                for b in blobs
-            ])
-        else:
-            chunks = await asyncio.gather(*[
-                loop.run_in_executor(self._threads, _decompress_one, b)
-                for b in blobs
-            ])
+            jobs = [
+                (
+                    blob,
+                    tuple((s.start, s.stop) for s in src),
+                    tuple((d.start, d.stop) for d in dst),
+                )
+                for (_, src, dst), blob in zip(parts, blobs)
+            ]
+            return await self._read_pooled(out_shape, cf.dtype, jobs)
+        out = np.empty(out_shape, dtype=cf.dtype)
+        chunks = await asyncio.gather(*[
+            loop.run_in_executor(self._threads, _decompress_one, b)
+            for b in blobs
+        ])
         for (i, src, dst), chunk in zip(parts, chunks):
             out[dst] = chunk[src]
         return out
+
+    async def _read_pooled(
+        self,
+        out_shape: Tuple[int, ...],
+        dtype: "np.dtype[np.generic]",
+        jobs: List[Tuple[bytes, tuple, tuple]],
+    ) -> np.ndarray:
+        """Slab-batched decode: workers write regions into a shared
+        output slab (decoded chunks never pickle back), one batch per
+        worker times two so stragglers interleave.  The plan's regions
+        are disjoint, so concurrent writes never overlap.
+        """
+        loop = asyncio.get_running_loop()
+        dtype = np.dtype(dtype)
+        n_batches = max(
+            1, min(len(jobs), 2 * max(1, self.config.processes))
+        )
+        nbytes = dtype.itemsize * math.prod(int(n) for n in out_shape)
+        out_slab = await loop.run_in_executor(
+            self._threads, ShmSlab.create, max(1, nbytes)
+        )
+        try:
+            await asyncio.gather(*[
+                asyncio.wrap_future(
+                    self._pool.submit_decompress_into(
+                        out_slab.name, out_shape, dtype.str,
+                        tuple(jobs[b::n_batches]),
+                    )
+                )
+                for b in range(n_batches)
+            ])
+
+            def copy_out() -> np.ndarray:
+                view = out_slab.view(0, out_shape, dtype)
+                result = np.array(view)
+                del view  # the view must not outlive the release below
+                return result
+
+            return await loop.run_in_executor(self._threads, copy_out)
+        finally:
+            out_slab.release()
 
 
 __all__ = ["CompressionService", "ServiceConfig"]

@@ -2,12 +2,123 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple, Union
+
 import numpy as np
 
 from repro.errors import CompressionError
 
 #: floating dtypes every codec accepts as input
 SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+@dataclass(frozen=True)
+class ErrorBound:
+    """The one spelling of an error bound: a mode plus a positive value.
+
+    Every public entry point historically grew its own kwarg pair
+    (``error_bound=`` / ``rel_error_bound=``, ``--abs-eb`` / ``--rel-eb``,
+    protocol kv floats); this type is the single validated value they all
+    normalize into (:func:`normalize_bound`).  ``abs`` is an absolute
+    point-wise bound; ``rel`` is relative to the field's value range
+    (``max - min``), the paper's ``REL`` mode.
+    """
+
+    mode: str
+    value: float
+
+    MODES = ("abs", "rel")
+
+    def __post_init__(self) -> None:
+        if self.mode not in self.MODES:
+            raise CompressionError(
+                f"error-bound mode must be one of {self.MODES}, "
+                f"got {self.mode!r}"
+            )
+        object.__setattr__(self, "value", validate_error_bound(self.value))
+
+    @classmethod
+    def absolute(cls, value: float) -> "ErrorBound":
+        return cls("abs", value)
+
+    @classmethod
+    def relative(cls, value: float) -> "ErrorBound":
+        return cls("rel", value)
+
+    @classmethod
+    def parse(cls, spec: "BoundLike") -> "ErrorBound":
+        """Normalize any accepted spelling into an :class:`ErrorBound`.
+
+        Accepts an :class:`ErrorBound`, a ``"mode:value"`` string (the
+        CLI's ``--eb abs:1e-3``), a ``(mode, value)`` pair, or a bare
+        number (taken as absolute — the conservative reading, since an
+        absolute bound never silently scales with the data).
+        """
+        if isinstance(spec, cls):
+            return spec
+        if isinstance(spec, str):
+            mode, sep, value = spec.partition(":")
+            if not sep:
+                raise CompressionError(
+                    f"error-bound spec must look like 'abs:1e-3' or "
+                    f"'rel:1e-4', got {spec!r}"
+                )
+            try:
+                return cls(mode.strip(), float(value))
+            except ValueError:
+                raise CompressionError(
+                    f"error-bound value in {spec!r} is not a number"
+                ) from None
+        if isinstance(spec, (int, float, np.floating)):
+            return cls("abs", float(spec))
+        if isinstance(spec, (tuple, list)) and len(spec) == 2:
+            return cls(str(spec[0]), float(spec[1]))
+        raise CompressionError(
+            f"cannot interpret {spec!r} as an error bound; use "
+            f"ErrorBound(mode, value), 'mode:value', or (mode, value)"
+        )
+
+    @property
+    def is_relative(self) -> bool:
+        return self.mode == "rel"
+
+    def kwargs(self) -> Dict[str, float]:
+        """The legacy kwarg-pair spelling (for shims and wire kv maps)."""
+        key = "rel_error_bound" if self.is_relative else "error_bound"
+        return {key: self.value}
+
+    def __str__(self) -> str:
+        return f"{self.mode}:{self.value:g}"
+
+
+BoundLike = Union[ErrorBound, str, float, Tuple[Any, Any]]
+
+
+def normalize_bound(
+    bound: Optional[BoundLike] = None,
+    error_bound: Optional[float] = None,
+    rel_error_bound: Optional[float] = None,
+) -> ErrorBound:
+    """Collapse every bound spelling into one validated :class:`ErrorBound`.
+
+    Exactly one of the three must be given — the unified ``bound=`` or
+    one of the legacy kwargs; this is THE normalizer every entry point
+    (facade, chunked API, protocol kv kwargs, CLI) routes through.
+    """
+    given = sum(
+        x is not None for x in (bound, error_bound, rel_error_bound)
+    )
+    if given != 1:
+        raise CompressionError(
+            "specify exactly one of bound=, error_bound= or rel_error_bound="
+        )
+    if bound is not None:
+        return ErrorBound.parse(bound)
+    if error_bound is not None:
+        return ErrorBound("abs", float(error_bound))
+    assert rel_error_bound is not None
+    return ErrorBound("rel", float(rel_error_bound))
 
 
 def validate_input(data: np.ndarray, name: str = "data") -> np.ndarray:

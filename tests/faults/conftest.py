@@ -1,6 +1,21 @@
 """Shared fixtures for the fault-injection suite."""
 
+import os
+import pathlib
+
 import pytest
+
+
+@pytest.fixture(scope="session")
+def subprocess_env():
+    """Environment for child interpreters: the src tree on PYTHONPATH."""
+    src = pathlib.Path(__file__).parent.parent.parent / "src"
+    env = os.environ.copy()
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = str(src) + (
+        (os.pathsep + existing) if existing else ""
+    )
+    return env
 
 
 @pytest.fixture

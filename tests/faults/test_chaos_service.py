@@ -154,6 +154,19 @@ def test_worker_kill_under_load_recovers_byte_identical(server):
             data, codec="qoz", rel_error_bound=1e-3, chunks=18
         ) == expected
 
+    # slab hygiene (DESIGN.md §13): the kill landed mid-batch, yet every
+    # shared-memory slab the server created must be gone once the load
+    # drains — release happens on the caller's exit paths, crash included
+    shm = pathlib.Path("/dev/shm")
+    if shm.is_dir():
+        deadline = time.monotonic() + 30
+        while True:
+            leaked = sorted(p.name for p in shm.glob("repro-slab-*"))
+            if not leaked or time.monotonic() >= deadline:
+                break
+            time.sleep(0.2)
+        assert not leaked, f"server leaked shm slabs: {leaked}"
+
     dump = os.environ.get("REPRO_CHAOS_STATS")
     if dump:
         pathlib.Path(dump).write_text(json.dumps(stats, indent=2) + "\n")

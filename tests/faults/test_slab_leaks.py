@@ -1,0 +1,237 @@
+"""Crash slab-backed batch jobs every way we can; assert zero shm leaks.
+
+The slab ownership contract (DESIGN.md §13): the side that calls
+``Slab.create`` releases it, exactly once, on *every* exit path — normal
+drain, worker crash + heal, poison, abandoned generator, interpreter
+exit — and workers only ever attach/detach.  Leaks are observable from
+the outside: a leaked slab is a ``repro-slab-*`` file in ``/dev/shm``
+that outlives the run.  Every test here induces a failure and then
+checks both the in-process ledger (``active_slab_names``) and the
+filesystem.
+
+Worker kills reuse the pool-healing conventions of
+``test_pool_healing.py``: fork context (the crashing test codec below is
+registered in this module and must be inherited), MAIN_PID guard so the
+degraded serial lane can't kill pytest itself.
+"""
+
+import multiprocessing
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.compressors.base import Compressor, register
+from repro.errors import WorkerCrashError
+from repro.parallel.executor import ChunkWorkPool, compress_chunks_streaming
+from repro.parallel.slab import SLAB_NAME_PREFIX, Slab, active_slab_names
+
+MAIN_PID = os.getpid()
+FORK_CTX = multiprocessing.get_context("fork")
+SHM_DIR = pathlib.Path("/dev/shm")
+
+pytestmark = pytest.mark.skipif(
+    not SHM_DIR.is_dir(), reason="no /dev/shm to observe leaks in"
+)
+
+
+def shm_slabs():
+    """Names of every repro slab currently backing files in /dev/shm."""
+    return sorted(p.name for p in SHM_DIR.glob(f"{SLAB_NAME_PREFIX}-*"))
+
+
+def assert_no_leaks():
+    assert active_slab_names() == []
+    assert shm_slabs() == []
+
+
+@register
+class CrashyCodec(Compressor):
+    """Test codec that SIGKILLs its hosting worker process.
+
+    ``marker=`` makes the kill one-shot (the marker file records that a
+    first attempt died, so the retried dispatch completes) — a transient
+    worker death.  Without it every process-pool attempt dies — a poison
+    job.  On the caller's pid (pytest itself, i.e. the degraded serial
+    lane) the kill is skipped and the job completes.
+    """
+
+    name = "crashy"
+    codec_id = 200
+
+    def __init__(self, marker=None):
+        self.marker = marker
+
+    def _compress(self, data, eb):
+        if os.getpid() != MAIN_PID:
+            if self.marker is None:
+                os.kill(os.getpid(), signal.SIGKILL)
+            elif not os.path.exists(self.marker):
+                pathlib.Path(self.marker).touch()
+                os.kill(os.getpid(), signal.SIGKILL)
+        return data.astype(np.float64).tobytes()
+
+    def _decompress(self, payload, header):
+        flat = np.frombuffer(payload, dtype=np.float64)
+        return flat.reshape(header.shape)
+
+
+def chunk_arrays(n=4, shape=(16, 16)):
+    return [
+        np.full(shape, i, dtype=np.float32) + np.float32(0.25)
+        for i in range(n)
+    ]
+
+
+def make_pool(events, **kwargs):
+    kwargs.setdefault("processes", 2)
+    kwargs.setdefault("mp_context", FORK_CTX)
+    return ChunkWorkPool(on_event=events.append, **kwargs)
+
+
+def batch_descriptors(arrays):
+    slab = Slab.create(sum(a.nbytes for a in arrays))
+    return slab, slab.pack(arrays)
+
+
+class TestPoolCrashPaths:
+    def test_transient_worker_death_batch_retries_same_slab(
+        self, tmp_path, pool_events
+    ):
+        """Heal/retry re-dispatches the same descriptors and succeeds."""
+        arrays = chunk_arrays()
+        slab, descs = batch_descriptors(arrays)
+        pool = make_pool(pool_events, max_job_crashes=5)
+        try:
+            fut = pool.submit_compress_batch(
+                "crashy",
+                {"marker": str(tmp_path / "died-once")},
+                slab.name,
+                descs,
+                error_bound=1e-3,
+            )
+            blobs = fut.result(timeout=120)
+        finally:
+            slab.release()
+            pool.shutdown()
+        assert "crash" in pool_events and "retry" in pool_events
+        codec = CrashyCodec()
+        for arr, blob in zip(arrays, blobs):
+            np.testing.assert_array_equal(codec.decompress(blob), arr)
+        assert_no_leaks()
+
+    def test_poisoned_batch_job_still_releases_slab(self, pool_events):
+        arrays = chunk_arrays()
+        slab, descs = batch_descriptors(arrays)
+        pool = make_pool(pool_events, max_job_crashes=2)
+        try:
+            fut = pool.submit_compress_batch(
+                "crashy", {}, slab.name, descs, error_bound=1e-3
+            )
+            with pytest.raises(WorkerCrashError, match="poisoned"):
+                fut.result(timeout=120)
+        finally:
+            slab.release()
+            pool.shutdown()
+        assert pool_events.count("poisoned") == 1
+        assert_no_leaks()
+
+    def test_degraded_serial_lane_reads_the_slab_in_process(
+        self, pool_events
+    ):
+        """The serial lane attaches to the same slab and serves the job."""
+        arrays = chunk_arrays(n=3)
+        slab, descs = batch_descriptors(arrays)
+        pool = make_pool(
+            pool_events,
+            max_job_crashes=10,
+            max_consecutive_crashes=2,
+            probe_interval=30.0,
+        )
+        try:
+            fut = pool.submit_compress_batch(
+                "crashy", {}, slab.name, descs, error_bound=1e-3
+            )
+            blobs = fut.result(timeout=120)
+            assert pool.degraded
+        finally:
+            slab.release()
+            pool.shutdown()
+        codec = CrashyCodec()
+        for arr, blob in zip(arrays, blobs):
+            np.testing.assert_array_equal(codec.decompress(blob), arr)
+        assert_no_leaks()
+
+
+class TestStreamingAbandon:
+    def test_closing_the_generator_releases_in_flight_slabs(self):
+        """A consumer that walks away mid-stream leaks nothing."""
+        jobs = ((i, arr) for i, arr in enumerate(chunk_arrays(n=12)))
+        gen = compress_chunks_streaming(
+            jobs, "qoz", None, 1e-3, processes=2, batch_chunks=2
+        )
+        got = next(gen)  # at least one batch is in flight now
+        assert isinstance(got[1], bytes)
+        gen.close()  # GeneratorExit: pending batches cancelled + released
+        assert_no_leaks()
+
+
+class TestInterpreterExit:
+    def _run_child(self, body, subprocess_env, expect_kill=False):
+        """Run ``body`` in a fresh interpreter; return (names, proc)."""
+        script = (
+            "import sys\n"
+            "from repro.parallel.slab import Slab\n"
+            + body
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script],
+            env=subprocess_env,
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        names = proc.stdout.readline().split()
+        assert names, "child never created its slabs"
+        return names, proc
+
+    def test_atexit_purges_unreleased_slabs(self, subprocess_env):
+        """A process that exits without releasing leaks nothing."""
+        names, proc = self._run_child(
+            "slabs = [Slab.create(4096) for _ in range(3)]\n"
+            "print(' '.join(s.name for s in slabs), flush=True)\n"
+            "sys.exit(0)\n",  # no release(): the atexit hook must purge
+            subprocess_env,
+        )
+        proc.wait(timeout=60)
+        for name in names:
+            assert not (SHM_DIR / name).exists(), f"{name} leaked past exit"
+
+    def test_sigkilled_owner_is_reaped_by_the_resource_tracker(
+        self, subprocess_env
+    ):
+        """Even SIGKILL (no atexit) leaves nothing: the tracker unlinks.
+
+        This is why worker attaches never unregister the segment — the
+        owner's single resource-tracker registration is the crash net.
+        """
+        names, proc = self._run_child(
+            "import time\n"
+            "slab = Slab.create(4096)\n"
+            "print(slab.name, flush=True)\n"
+            "time.sleep(300)\n",
+            subprocess_env,
+        )
+        assert (SHM_DIR / names[0]).exists()
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=60)
+        deadline = time.monotonic() + 30
+        while (SHM_DIR / names[0]).exists():
+            assert time.monotonic() < deadline, (
+                f"{names[0]} still in /dev/shm 30s after owner SIGKILL"
+            )
+            time.sleep(0.2)

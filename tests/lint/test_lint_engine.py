@@ -37,7 +37,7 @@ BAD_EXCEPT = textwrap.dedent(
 
 def test_rule_catalogue_is_complete():
     ids = sorted(rule_classes())
-    assert ids == [f"RL00{i}" for i in range(1, 10)]
+    assert ids == [f"RL{i:03d}" for i in range(1, 11)]
 
 
 def test_module_scoping_gates_rules():

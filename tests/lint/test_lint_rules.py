@@ -604,3 +604,82 @@ def test_rl009_ignores_unscoped_modules():
         modules=["repro/service/*", "repro/parallel/*"],
     )
     assert findings == []
+
+
+# ------------------------------------------------------------------- RL010
+
+
+_RL010_OPTIONS = dict(
+    deprecated=[
+        "repro:compress_chunked",
+        "repro:decompress_chunked",
+    ],
+    allow_modules=["repro/api.py", "repro/_shims.py"],
+)
+
+
+def test_rl010_fires_on_deprecated_from_import():
+    findings = run(
+        "RL010",
+        """
+        from repro import compress_chunked
+
+        def save(data):
+            return compress_chunked(data, error_bound=1e-3)
+        """,
+        **_RL010_OPTIONS,
+    )
+    assert hits(findings) == [("RL010", 2)]
+
+
+def test_rl010_fires_on_deprecated_attribute_use():
+    findings = run(
+        "RL010",
+        """
+        import repro
+
+        def load(blob):
+            return repro.decompress_chunked(blob)
+        """,
+        **_RL010_OPTIONS,
+    )
+    assert hits(findings) == [("RL010", 5)]
+
+
+def test_rl010_fires_on_shim_module_import():
+    findings = run(
+        "RL010",
+        """
+        from repro._shims import compress_chunked
+        import repro._shims
+        """,
+        **_RL010_OPTIONS,
+    )
+    assert hits(findings) == [("RL010", 2), ("RL010", 3)]
+
+
+def test_rl010_passes_on_canonical_and_facade_spellings():
+    findings = run(
+        "RL010",
+        """
+        import repro
+        from repro.chunked import compress_chunked
+
+        def save(data):
+            return repro.compress(data, bound=1e-3, chunks=32)
+        """,
+        **_RL010_OPTIONS,
+    )
+    assert findings == []
+
+
+def test_rl010_allowlists_the_shim_module_itself():
+    findings = run(
+        "RL010",
+        """
+        from repro import compress_chunked
+        """,
+        relpath="repro/_shims.py",
+        **_RL010_OPTIONS,
+    )
+    assert findings == []
