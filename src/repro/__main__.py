@@ -21,10 +21,16 @@ Examples::
 ``serve`` runs the long-lived async compression service
 (:mod:`repro.service`): compress / decompress / hyperslab-read over a
 binary socket protocol, with cost-aware admission control and
-cross-request plan caching.  ``serve-stats`` connects to a running
-service and renders its observability snapshot as a table (or
-``--json`` / ``--line``, optionally ``--watch N``).  The package also
-installs a ``repro`` console script pointing at this module.
+cross-request plan caching.  ``serve --shards N`` runs N shard
+processes behind one address — SO_REUSEPORT kernel accept sharding
+where available, a consistent-hash front router otherwise — with
+derived plans replicated between shards over an inter-process bus
+(DESIGN.md §14).  ``serve-stats`` connects to a running service and
+renders its observability snapshot as a table (or ``--json`` /
+``--line``, optionally ``--watch N``); ``serve-stats --all-shards``
+queries a sharded deployment's admin endpoint for the fleet-wide
+aggregate.  The package also installs a ``repro`` console script
+pointing at this module.
 """
 
 from __future__ import annotations
@@ -244,6 +250,9 @@ def _cmd_verify(args) -> int:
 def _cmd_serve(args) -> int:
     from repro.service import ServiceConfig, run_server
 
+    if args.shards < 1:
+        print("error: --shards must be >= 1", file=sys.stderr)
+        return 2
     config = ServiceConfig(
         processes=args.processes,
         max_queue=args.max_queue,
@@ -257,7 +266,20 @@ def _cmd_serve(args) -> int:
         cost_aware=not args.depth_only,
         stats_interval=args.stats_interval,
     )
-    return run_server(host=args.host, port=args.port, config=config)
+    if args.shards == 1:
+        # single-shard path: exactly yesterday's in-process server, no
+        # supervisor, no bus, no admin endpoint
+        return run_server(host=args.host, port=args.port, config=config)
+    from repro.service import run_sharded
+
+    return run_sharded(
+        host=args.host,
+        port=args.port,
+        config=config,
+        shards=args.shards,
+        router=args.router,
+        admin_port=args.admin_port,
+    )
 
 
 def _stats_rows(stats: dict) -> list:
@@ -272,14 +294,24 @@ def _stats_rows(stats: dict) -> list:
 
 def _cmd_serve_stats(args) -> int:
     import json
+    import re
 
     from repro.analysis import format_table
     from repro.service import RemoteClient, format_stats_line
 
+    port = args.port
+    if args.all_shards:
+        port = args.admin_port if args.admin_port is not None else args.port + 1
     try:
         while True:
-            with RemoteClient(host=args.host, port=args.port) as client:
+            with RemoteClient(host=args.host, port=port) as client:
                 stats = client.stats()
+            if args.all_shards and not args.per_shard:
+                stats = {
+                    k: v
+                    for k, v in stats.items()
+                    if not re.match(r"shard\d+_", k)
+                }
             if args.json:
                 print(json.dumps(stats, sort_keys=True))
             elif args.line:
@@ -398,6 +430,21 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--stats-interval", type=float, default=0.0,
                    help="log one service-stats line every N seconds "
                         "(0 = disabled)")
+    s.add_argument("--shards", type=int, default=1,
+                   help="number of shard processes (default 1 = classic "
+                        "single-process server; N>1 runs the sharded "
+                        "runtime with a replicated plan cache)")
+    s.add_argument("--router", choices=("auto", "reuseport", "hash"),
+                   default="auto",
+                   help="connection-distribution strategy for --shards>1: "
+                        "'reuseport' = kernel SO_REUSEPORT accept "
+                        "sharding, 'hash' = front router consistent-"
+                        "hashing on plan key / family tag, 'auto' = "
+                        "reuseport when the platform supports it "
+                        "(default)")
+    s.add_argument("--admin-port", type=int, default=None,
+                   help="supervisor admin endpoint for aggregated stats "
+                        "(--shards>1 only; default: public port + 1)")
     s.set_defaults(func=_cmd_serve)
 
     ss = sub.add_parser(
@@ -412,6 +459,17 @@ def build_parser() -> argparse.ArgumentParser:
                     help="emit the compact one-line form the server logs")
     ss.add_argument("--watch", type=float, default=0.0, metavar="SECONDS",
                     help="re-fetch and re-render every N seconds")
+    ss.add_argument("--all-shards", action="store_true",
+                    help="query a sharded deployment's admin endpoint "
+                         "(--port + 1 unless --admin-port) for the "
+                         "fleet-wide aggregated snapshot")
+    ss.add_argument("--admin-port", type=int, default=None,
+                    help="admin endpoint port for --all-shards (default: "
+                         "--port + 1)")
+    ss.add_argument("--per-shard", action="store_true",
+                    help="with --all-shards: keep the shardN_-prefixed "
+                         "per-shard rows in the output (default: "
+                         "aggregate only)")
     ss.set_defaults(func=_cmd_serve_stats)
 
     # `repro lint` owns its full option surface in repro.lint.cli (so the

@@ -235,17 +235,33 @@ class PlanLRU:
     derivation takes orders of magnitude longer than a dict move, and two
     racing derivations of the same key are deterministic and identical,
     so last-write-wins is safe (only duplicate work, never a wrong plan).
+
+    ``on_derive`` is the replication hook of the sharded serve runtime
+    (:mod:`repro.service.planbus`): called with ``(key, plan)`` after every
+    *fresh* derivation — never on hits or on :meth:`install` — so one
+    shard's derivation work can be published to its peers.  It runs
+    outside the lock on the deriving thread; implementations must be
+    thread-safe and must not raise (publishing is best-effort).
+    :meth:`install` is the receiving half: idempotent, first-writer-wins,
+    counted separately (``replicated``) so cache-warmth tests can observe
+    replication without it masquerading as local derivation.
     """
 
-    def __init__(self, capacity: int = 128) -> None:
+    def __init__(
+        self,
+        capacity: int = 128,
+        on_derive: Optional[Callable[[Hashable, FrozenPlan], None]] = None,
+    ) -> None:
         if capacity < 1:
             raise ConfigurationError("plan cache capacity must be >= 1")
         self.capacity = capacity
         self._plans: "OrderedDict[Hashable, FrozenPlan]" = OrderedDict()
         self._lock = threading.Lock()
+        self._on_derive = on_derive
         self.hits = 0
         self.misses = 0
         self.derives = 0
+        self.replicated = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -279,6 +295,26 @@ class PlanLRU:
             while len(self._plans) > self.capacity:
                 self._plans.popitem(last=False)
 
+    def install(self, key: Hashable, plan: FrozenPlan) -> bool:
+        """Install a plan replicated from a peer; True if newly installed.
+
+        First-writer-wins: a key already present (derived locally or
+        replicated earlier) is left untouched — derivation is
+        deterministic, so the entries are identical and keeping the
+        resident one preserves its LRU recency.  Does not bump
+        ``derives`` (no derivation happened here) nor ``hits``/``misses``
+        (nobody asked); bumps ``replicated`` so warmth gained from peers
+        is observable.
+        """
+        with self._lock:
+            if key in self._plans:
+                return False
+            self._plans[key] = plan
+            while len(self._plans) > self.capacity:
+                self._plans.popitem(last=False)
+            self.replicated += 1
+            return True
+
     def get_or_derive(
         self, key: Hashable, derive: Callable[[], FrozenPlan]
     ) -> FrozenPlan:
@@ -290,6 +326,8 @@ class PlanLRU:
         with self._lock:
             self.derives += 1
         self.put(key, plan)
+        if self._on_derive is not None:
+            self._on_derive(key, plan)
         return plan
 
     def stats(self) -> Dict[str, float]:
@@ -304,4 +342,5 @@ class PlanLRU:
                     round(self.hits / lookups, 4) if lookups else 0.0
                 ),
                 "plan_derives": self.derives,
+                "plan_replicated": self.replicated,
             }

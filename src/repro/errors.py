@@ -50,6 +50,23 @@ class RemoteServiceError(ReproError):
     """
 
 
+class ServiceConnectionError(RemoteServiceError, ProtocolError):
+    """A service connection dropped mid-request (send or receive).
+
+    Distinct from :class:`RemoteServiceError` proper — the server did not
+    *report* anything; the transport died under the request (a shard was
+    killed, the peer reset, a socket timed out mid-frame).  It descends
+    from both :class:`RemoteServiceError` (the RPC failed) and
+    :class:`ProtocolError` (the framing can no longer be trusted), so
+    callers written against either family keep catching it.
+
+    All service requests are idempotent, so
+    :class:`~repro.service.client.RemoteClient` may transparently
+    reconnect and resend when constructed with ``reconnects > 0``; once
+    that budget is exhausted the last failure surfaces as this type.
+    """
+
+
 class WorkerCrashError(ReproError):
     """Raised when a job repeatedly crashes worker processes.
 

@@ -42,6 +42,7 @@ DEFAULT_OPTIONS: Dict[str, Dict[str, object]] = {
             "repro/chunked/container.py",
             "repro/parallel/slab.py",
             "repro/service/protocol.py",
+            "repro/service/planbus.py",
         ],
     },
     # FrozenPlan instances flow everywhere; check the whole tree.
@@ -62,10 +63,15 @@ DEFAULT_OPTIONS: Dict[str, Dict[str, object]] = {
             "repro/service/protocol.py",
         ],
     },
-    # pickle is allowed only on the in-process plan-broadcast path.
+    # pickle is allowed only on the in-process plan-broadcast paths:
+    # the pool executor (parent->worker) and the inter-shard plan bus
+    # (shard->shard over a trusted private pipe).
     "RL008": {
         "modules": ["repro/*"],
-        "allow_modules": ["repro/parallel/executor.py"],
+        "allow_modules": [
+            "repro/parallel/executor.py",
+            "repro/service/planbus.py",
+        ],
     },
     # Fault-recovery paths: pool breaks and deadline expiries must stay
     # typed — only where the self-healing supervisor lives.
@@ -82,6 +88,12 @@ DEFAULT_OPTIONS: Dict[str, Dict[str, object]] = {
             "repro:decompress_chunked",
             "repro:read_hyperslab",
         ],
+    },
+    # Shard-local state (admission, metrics, plan LRU) stays inside its
+    # ShardRuntime; the plan bus is the only sanctioned crossing.
+    "RL011": {
+        "modules": ["repro/service/*", "repro/core/plan_cache.py"],
+        "allow_modules": ["repro/service/planbus.py"],
     },
 }
 

@@ -13,6 +13,7 @@ from .error_handling import BroadExceptRule
 from .fault_paths import FaultPathDisciplineRule
 from .pickle_guard import PickleGuardRule
 from .plan_immutability import FrozenPlanPurityRule, ServiceStateDisciplineRule
+from .shard_isolation import ShardIsolationRule
 from .wire_format import WireFormatRule
 
 ALL_RULES: Tuple[Type[Rule], ...] = (
@@ -26,6 +27,7 @@ ALL_RULES: Tuple[Type[Rule], ...] = (
     PickleGuardRule,  # RL008
     FaultPathDisciplineRule,  # RL009
     DeprecatedEntryRule,  # RL010
+    ShardIsolationRule,  # RL011
 )
 
 __all__ = [
@@ -39,5 +41,6 @@ __all__ = [
     "FrozenPlanPurityRule",
     "PickleGuardRule",
     "ServiceStateDisciplineRule",
+    "ShardIsolationRule",
     "WireFormatRule",
 ]

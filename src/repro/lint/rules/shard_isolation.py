@@ -1,0 +1,148 @@
+"""RL011 — shard-local service state never crosses a process boundary.
+
+The sharded serve runtime (DESIGN.md §14) gives every shard its own
+:class:`AdmissionController`, :class:`ServiceMetrics`, and
+:class:`PlanLRU`; shards coordinate *only* through the plan-replication
+bus (:mod:`repro.service.planbus`), which ships self-contained encoded
+messages.  Handing one of those live objects to another process — as a
+``Process(...)`` argument, pickled with ``pickle.dumps``, or pushed down
+a pipe/queue with ``.send`` / ``.send_bytes`` / ``.put`` — forks its
+lock and counters into a divergent copy: admission decisions stop
+reconciling, STATS double-counts, and the plan cache silently splits.
+The bus module itself is allowlisted (it *is* the sanctioned boundary);
+everywhere else the rule flags the attempt.
+
+Instances are tracked the same way RL005 tracks them: names bound from
+a constructor call, plus well-known attribute spellings
+(``self.plans``, ``self.metrics``, ``self.admission``, and their
+underscore-private forms).
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+from typing import Dict, Iterator, List, Optional
+
+from ..engine import Finding, ModuleContext, Rule, dotted_name, iter_functions
+
+__all__ = ["ShardIsolationRule"]
+
+#: call spellings that move an argument into another process
+_BOUNDARY_METHODS = {"send", "send_bytes", "put", "put_nowait"}
+_PICKLE_DUMPERS = {"pickle.dumps", "pickle.dump"}
+
+
+class ShardIsolationRule(Rule):
+    rule_id = "RL011"
+    name = "shard-isolation"
+    description = (
+        "AdmissionController/ServiceMetrics/PlanLRU instances stay inside "
+        "their ShardRuntime; cross-shard traffic goes through the bus API"
+    )
+
+    OWNED_CLASSES = ("AdmissionController", "ServiceMetrics", "PlanLRU")
+
+    #: attribute-path suffix → owning class (how service code names them)
+    DEFAULT_ATTR_HINTS: Dict[str, str] = {
+        "plans": "PlanLRU",
+        "_plans": "PlanLRU",
+        "metrics": "ServiceMetrics",
+        "_metrics": "ServiceMetrics",
+        "admission": "AdmissionController",
+        "_admission": "AdmissionController",
+    }
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        allow = self.options.get("allow_modules", [])
+        if any(fnmatch.fnmatch(ctx.relpath, pat) for pat in allow):
+            return
+        hints: Dict[str, str] = dict(
+            self.options.get("attr_hints", self.DEFAULT_ATTR_HINTS)
+        )
+        for func, _classes in iter_functions(ctx.tree):
+            local_owners = self._local_bindings(func, hints)
+            for call in ast.walk(func):
+                if not isinstance(call, ast.Call):
+                    continue
+                boundary = self._boundary_kind(call)
+                if boundary is None:
+                    continue
+                for arg, owner in self._tracked_args(
+                    call, local_owners, hints
+                ):
+                    yield self.finding(
+                        ctx,
+                        call,
+                        f"'{arg}' is a shard-local {owner} crossing a "
+                        f"process boundary via {boundary}; shards share "
+                        f"state only through the plan bus "
+                        f"(repro.service.planbus) — encode a message, "
+                        f"never ship the live object",
+                    )
+
+    # ------------------------------------------------------------- helpers
+    def _boundary_kind(self, call: ast.Call) -> Optional[str]:
+        name = dotted_name(call.func) or ""
+        if not name:
+            return None
+        last = name.rsplit(".", 1)[-1]
+        if last.endswith("Process"):
+            return f"{name}()"
+        if name in _PICKLE_DUMPERS or (
+            last in {"dumps", "dump"} and name.split(".")[0] == "pickle"
+        ):
+            return f"{name}()"
+        if "." in name and last in _BOUNDARY_METHODS:
+            return f".{last}()"
+        return None
+
+    def _tracked_args(
+        self,
+        call: ast.Call,
+        local_owners: Dict[str, str],
+        hints: Dict[str, str],
+    ) -> List[tuple]:
+        """(spelling, owning class) for every tracked instance in args.
+
+        Walks *inside* argument expressions so the classic
+        ``Process(target=f, args=(metrics,))`` tuple is seen.
+        """
+        exprs: List[ast.expr] = list(call.args)
+        exprs.extend(kw.value for kw in call.keywords)
+        out: List[tuple] = []
+        for expr in exprs:
+            for sub in ast.walk(expr):
+                owner: Optional[str] = None
+                if isinstance(sub, ast.Name):
+                    owner = local_owners.get(sub.id)
+                elif isinstance(sub, ast.Attribute) and not isinstance(
+                    sub.ctx, ast.Store
+                ):
+                    owner = hints.get(sub.attr)
+                if owner is not None:
+                    out.append((dotted_name(sub) or "<expr>", owner))
+        return out
+
+    def _local_bindings(
+        self, func: ast.AST, hints: Dict[str, str]
+    ) -> Dict[str, str]:
+        owners: Dict[str, str] = {}
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            cls: Optional[str] = None
+            if isinstance(value, ast.Call):
+                fname = dotted_name(value.func) or ""
+                last = fname.rsplit(".", 1)[-1]
+                if last in self.OWNED_CLASSES:
+                    cls = last
+            elif isinstance(value, ast.Attribute):
+                cls = hints.get(value.attr)
+            if cls is None:
+                continue
+            for tgt in node.targets:
+                if isinstance(tgt, ast.Name):
+                    owners[tgt.id] = cls
+        return owners

@@ -55,9 +55,18 @@ class WireSpec:
 #   container.py rev 1: footer chunk-count "<Q" (PR 3)
 #   protocol.py  rev 2: protocol v2 adds priority + declared-cost fields
 #                to OP_COMPRESS (PR 6); scalar codecs unchanged since v1
+#   protocol.py  rev 3: request meta gains the optional 'shard_key'
+#                routing-affinity tag (sharded serve, DESIGN.md §14);
+#                no layout change — meta kv is forward-extensible and
+#                unknown keys are ignored, so PROTOCOL_VERSION stays 2
 #   slab.py      rev 1: shared-memory batch descriptors — cross a process
 #                boundary via the pool's pickle channel, not a socket,
 #                but the tuple layout is an IPC contract all the same
+#   planbus.py   rev 1: inter-shard plan replication bus — one pipe
+#                payload per message, 'u8 ver | u8 kind | u16 shard_id |
+#                body', kinds HELLO/PLAN/STATS_REQ/STATS_RESP; scalars
+#                ride protocol.py's _Reader/_Writer codecs, so no struct
+#                formats appear in the module itself
 # ---------------------------------------------------------------------------
 
 WIRE_SPECS: Tuple[WireSpec, ...] = (
@@ -99,7 +108,7 @@ WIRE_SPECS: Tuple[WireSpec, ...] = (
     ),
     WireSpec(
         module="repro/service/protocol.py",
-        revision=2,
+        revision=3,
         formats=(
             "<B",  # u8 scalar
             "<H",  # u16 scalar / string length
@@ -119,6 +128,19 @@ WIRE_SPECS: Tuple[WireSpec, ...] = (
             "ST_OK": 0,
             "ST_ERROR": 1,
             "ST_RETRY": 2,
+        },
+    ),
+    WireSpec(
+        module="repro/service/planbus.py",
+        revision=1,
+        formats=(),  # scalars ride protocol.py's _Reader/_Writer codecs
+        constants={
+            "PLAN_BUS_VERSION": 1,
+            "MAX_BUS_MSG": 1 << 20,
+            "MSG_HELLO": 1,
+            "MSG_PLAN": 2,
+            "MSG_STATS_REQ": 3,
+            "MSG_STATS_RESP": 4,
         },
     ),
 )

@@ -39,6 +39,14 @@ Served bytes are identical to :func:`repro.chunked.compress_chunked`
 output — the scheduler runs the same derivation, the same chunk
 execution, and the same container writer, just asynchronously and with
 the derivation half cached.
+
+``repro serve --shards N`` (DESIGN.md §14) multiplies the whole stack
+across N processes behind one address: each shard owns a full
+:class:`ShardRuntime` (scheduler + admission + pool + plan cache), the
+kernel or a consistent-hash front router distributes connections, and
+derived plans replicate shard-to-shard over a pipe bus so a plan paid
+for once is warm everywhere.  Served bytes stay identical regardless of
+which shard answers.
 """
 
 from repro.service.admission import (
@@ -49,12 +57,18 @@ from repro.service.admission import (
     CostModel,
     ServiceMetrics,
     WorkEstimate,
+    aggregate_snapshots,
     decide,
     format_stats_line,
 )
 from repro.service.client import RemoteClient, ServiceClient
 from repro.service.scheduler import CompressionService, ServiceConfig
-from repro.service.server import ServiceServer, run_server
+from repro.service.server import ServiceServer, ShardRuntime, run_server
+from repro.service.sharding import (
+    reuseport_available,
+    run_sharded,
+    shard_for_key,
+)
 
 __all__ = [
     "AdmissionController",
@@ -68,8 +82,13 @@ __all__ = [
     "ServiceConfig",
     "ServiceMetrics",
     "ServiceServer",
+    "ShardRuntime",
     "WorkEstimate",
+    "aggregate_snapshots",
     "decide",
     "format_stats_line",
+    "reuseport_available",
     "run_server",
+    "run_sharded",
+    "shard_for_key",
 ]

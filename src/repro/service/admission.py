@@ -51,7 +51,7 @@ import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple, Union
+from typing import Callable, Dict, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
@@ -691,6 +691,70 @@ class ServiceMetrics:
         return out
 
 
+#: aggregation policy for :func:`aggregate_snapshots`: keys where the
+#: fleet value is the max of the shard values (identical-by-construction
+#: config plus "oldest shard" uptime) ...
+_AGG_MAX = frozenset(
+    {"stats_version", "uptime_s", "n_shards", "cost_aware", "batch_share"}
+)
+#: ... keys where it is the mean (EWMAs of per-request quantities —
+#: summing a latency EWMA across shards would be nonsense) ...
+_AGG_MEAN_PREFIXES = ("queue_wait_ms_",)
+_AGG_MEAN = frozenset({"batch_fill_ewma"})
+#: ... keys dropped from the aggregate (per-shard identity; the
+#: per-shard prefixed rows keep them)
+_AGG_DROP = frozenset({"shard_id"})
+
+
+def aggregate_snapshots(
+    snaps: Mapping[int, Mapping[str, Union[int, float]]],
+    per_shard: bool = False,
+) -> Dict[str, Union[int, float]]:
+    """Fold per-shard STATS snapshots into one fleet view.
+
+    Default policy: counters, queue depths, capacities, drain rates, and
+    throughput EWMAs **sum** (they read as fleet totals — e.g.
+    ``work_capacity_units`` becomes the whole deployment's admission
+    budget); per-request EWMAs (queue wait, batch fill) **average** over
+    the shards that report them; version/config keys take the **max**
+    (identical across shards by construction).  ``plan_cache_hit_rate``
+    is recomputed from the summed hit/miss counters rather than averaged,
+    so it reconciles exactly with them.  ``shards_reporting`` records how
+    many snapshots the aggregate is built from (a dead shard is absent,
+    not zero-filled).
+
+    ``per_shard=True`` additionally carries every input row through as
+    ``shard{i}_{key}`` — the detail view behind
+    ``repro serve-stats --per-shard``.
+    """
+    out: Dict[str, Union[int, float]] = {"shards_reporting": len(snaps)}
+    counts: Dict[str, int] = {}
+    for snap in snaps.values():
+        for key, value in snap.items():
+            if key in _AGG_DROP:
+                continue
+            counts[key] = counts.get(key, 0) + 1
+            if key in _AGG_MAX:
+                prev = out.get(key)
+                out[key] = value if prev is None else max(prev, value)
+            else:
+                out[key] = out.get(key, 0) + value
+    for key in list(out):
+        if key in _AGG_MEAN or key.startswith(_AGG_MEAN_PREFIXES):
+            out[key] = round(float(out[key]) / max(1, counts.get(key, 1)), 4)
+    hits = out.get("plan_cache_hits", 0)
+    misses = out.get("plan_cache_misses", 0)
+    lookups = hits + misses
+    out["plan_cache_hit_rate"] = (
+        round(float(hits) / lookups, 4) if lookups else 0.0
+    )
+    if per_shard:
+        for shard_id in sorted(snaps):
+            for key, value in snaps[shard_id].items():
+                out[f"shard{shard_id}_{key}"] = value
+    return out
+
+
 def format_stats_line(stats: Dict[str, Union[int, float]]) -> str:
     """One compact ``key=value`` line for the server's periodic log."""
     admit = sum(stats.get(f"admitted_{c}", 0) for c in PRIORITIES)
@@ -704,6 +768,14 @@ def format_stats_line(stats: Dict[str, Union[int, float]]) -> str:
     parts = [
         "repro service stats:",
         f"v={stats.get('stats_version', STATS_VERSION)}",
+    ]
+    if "shards_reporting" in stats:
+        parts.append(f"shards={stats['shards_reporting']:.0f}")
+    elif stats.get("n_shards", 1) > 1:
+        parts.append(
+            f"shard={stats.get('shard_id', 0):.0f}/{stats['n_shards']:.0f}"
+        )
+    parts += [
         f"up={stats.get('uptime_s', 0):.0f}s",
         f"conns={stats.get('connections_open', 0)}",
         f"queue={stats.get('queue_depth', 0)}",
@@ -735,5 +807,6 @@ __all__ = [
     "TokenBucket",
     "AdmissionController",
     "ServiceMetrics",
+    "aggregate_snapshots",
     "format_stats_line",
 ]

@@ -20,6 +20,19 @@ Two clients, one surface:
   bumped ``attempt`` counter, which is how the server's ``retried_*``
   stats distinguish retries from fresh arrivals.
 
+  ``reconnects > 0`` additionally survives the *connection* dying
+  mid-request (a shard killed under a sharded deployment, a proxy reset):
+  a send/receive that fails with
+  :class:`~repro.errors.ServiceConnectionError` / ``OSError`` closes the
+  socket, dials a fresh connection (jittered backoff, growing with
+  consecutive drops), and resends — safe because every service request
+  is idempotent.  Under ``repro serve --shards N`` the fresh connection
+  lands on a live shard, which serves byte-identical results, so a shard
+  death costs the client one reconnect and nothing else.  Once the
+  per-request budget is exhausted the failure surfaces as
+  :class:`~repro.errors.ServiceConnectionError`.  RETRY backpressure
+  hints are honored independently of (and in addition to) this path.
+
 Both expose ``compress`` / ``decompress`` / ``read`` / ``stats`` /
 ``ping`` with the same signatures and are context managers.  Work
 requests accept ``priority`` (``interactive`` / ``batch``) and
@@ -57,6 +70,7 @@ import numpy as np
 from repro.errors import (
     ProtocolError,
     RemoteServiceError,
+    ServiceConnectionError,
     ServiceOverloadedError,
 )
 from repro.service import protocol
@@ -82,6 +96,7 @@ def _compress_request(
     client_id: Optional[str],
     deadline_ms: Optional[float] = None,
     bound: Optional[BoundLike] = None,
+    shard_key: Optional[str] = None,
 ) -> protocol.CompressRequest:
     if chunks is not None and not isinstance(chunks, int):
         chunks = tuple(chunks)
@@ -101,6 +116,7 @@ def _compress_request(
         client_id=client_id,
         deadline_ms=deadline_ms,
         bound=bound,
+        shard_key=shard_key,
     )
 
 
@@ -144,11 +160,13 @@ class ServiceClient:
         client_id: Optional[str] = None,
         deadline_ms: Optional[float] = None,
         bound: Optional[BoundLike] = None,
+        shard_key: Optional[str] = None,
     ) -> bytes:
         req = _compress_request(
             data, codec, error_bound, rel_error_bound, chunks,
             codec_kwargs, family, per_chunk_tuning,
             priority, client_id or self.client_id, deadline_ms, bound,
+            shard_key,
         )
         return cast(bytes, self._call(self.service.handle(req)))
 
@@ -228,7 +246,15 @@ class ServiceClient:
 
 
 class RemoteClient:
-    """Blocking socket client for a running ``repro serve`` endpoint."""
+    """Blocking socket client for a running ``repro serve`` endpoint.
+
+    ``retries`` bounds backpressure (RETRY-frame) retries; ``reconnects``
+    bounds transport recovery after the connection dies mid-request (see
+    the module docstring).  ``shard_key`` sets a default routing-affinity
+    tag carried in every work request's meta — under a hash-routed
+    sharded deployment all of this client's traffic then lands on one
+    shard (per-request ``shard_key=`` overrides it).
+    """
 
     def __init__(
         self,
@@ -237,17 +263,36 @@ class RemoteClient:
         timeout: float = 300.0,
         retries: int = 0,
         client_id: Optional[str] = None,
+        reconnects: int = 0,
+        shard_key: Optional[str] = None,
     ) -> None:
         self.host = host
         self.port = port
+        self.timeout = timeout
         self.retries = retries
+        self.reconnects = reconnects
         self.client_id = client_id
+        self.shard_key = shard_key
         # Per-client RNG for retry jitter.  Seeded from the OS, not the
         # default global state: many client processes forked from one
         # parent (the load generator, an MPI job) must not share a seed,
         # or the jitter degenerates back into lockstep retries.
         self._jitter_rng = random.Random(os.urandom(8))
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock = self._connect()
+
+    def _connect(self) -> socket.socket:
+        return socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+
+    def _reconnect(self, drops: int) -> None:
+        """Replace a dead connection; backoff grows with consecutive drops."""
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._retry_sleep(0.05 * drops)
+        self._sock = self._connect()
 
     # ----------------------------------------------------------------- rpc
     def _retry_sleep(self, hint: float) -> float:
@@ -278,7 +323,7 @@ class RemoteClient:
         while sent < len(view):
             n = self._sock.send(view[sent:])
             if n == 0:
-                raise RemoteServiceError(
+                raise ServiceConnectionError(
                     f"connection closed mid-send ({sent} of "
                     f"{len(view)} bytes written)"
                 )
@@ -287,20 +332,47 @@ class RemoteClient:
     def _rpc(self, request: protocol.Request) -> protocol.Response:
         op = protocol.op_for_request(request)
         attempts = self.retries + 1
-        for attempt in range(attempts):
+        attempt = 0
+        drops = 0
+        while attempt < attempts:
             if hasattr(request, "attempt"):
                 request.attempt = attempt
             payload = protocol.frame(protocol.encode_request(request))
-            self._send_all(payload)
-            resp = protocol.decode_response(
-                protocol.read_frame_sync(self._sock), op
-            )
+            try:
+                self._send_all(payload)
+                resp = protocol.decode_response(
+                    protocol.read_frame_sync(self._sock), op
+                )
+            except (ServiceConnectionError, OSError) as exc:
+                # Transport death, not backpressure: the request is
+                # idempotent, so redial and resend without consuming the
+                # RETRY budget or bumping ``attempt`` (the server's
+                # retried_* stats count admission retries, not drops).
+                err: Exception = exc
+                while True:
+                    drops += 1
+                    if drops > self.reconnects:
+                        raise ServiceConnectionError(
+                            f"connection to {self.host}:{self.port} lost "
+                            f"mid-request ({drops} drop(s), reconnect "
+                            f"budget {self.reconnects}): {err}"
+                        ) from err
+                    try:
+                        # A failed dial (shard still respawning) burns
+                        # budget like a drop; the growing backoff gives
+                        # the supervisor time to bring a shard back.
+                        self._reconnect(drops)
+                        break
+                    except OSError as dial_exc:
+                        err = dial_exc
+                continue
             if resp.status == protocol.ST_OK:
                 return resp
             if resp.status == protocol.ST_ERROR:
                 raise RemoteServiceError(resp.message or "remote error")
             # ST_RETRY: honor the hint if the caller allowed retries
-            if attempt + 1 >= attempts:
+            attempt += 1
+            if attempt >= attempts:
                 raise ServiceOverloadedError(
                     resp.retry_after or 0.05, resp.reason or "overloaded"
                 )
@@ -325,11 +397,13 @@ class RemoteClient:
         client_id: Optional[str] = None,
         deadline_ms: Optional[float] = None,
         bound: Optional[BoundLike] = None,
+        shard_key: Optional[str] = None,
     ) -> bytes:
         req = _compress_request(
             data, codec, error_bound, rel_error_bound, chunks,
             codec_kwargs, family, per_chunk_tuning,
             priority, client_id or self.client_id, deadline_ms, bound,
+            shard_key or self.shard_key,
         )
         blob = self._rpc(req).blob
         assert blob is not None  # ST_OK compress responses always carry one
@@ -341,6 +415,7 @@ class RemoteClient:
         priority: str = "interactive",
         client_id: Optional[str] = None,
         deadline_ms: Optional[float] = None,
+        shard_key: Optional[str] = None,
     ) -> np.ndarray:
         protocol.validate_priority(priority)
         array = self._rpc(
@@ -349,6 +424,7 @@ class RemoteClient:
                 priority=priority,
                 client_id=client_id or self.client_id,
                 deadline_ms=deadline_ms,
+                shard_key=shard_key or self.shard_key,
             )
         ).array
         assert array is not None
@@ -361,6 +437,7 @@ class RemoteClient:
         priority: str = "interactive",
         client_id: Optional[str] = None,
         deadline_ms: Optional[float] = None,
+        shard_key: Optional[str] = None,
     ) -> np.ndarray:
         protocol.validate_priority(priority)
         array = self._rpc(
@@ -370,6 +447,7 @@ class RemoteClient:
                 priority=priority,
                 client_id=client_id or self.client_id,
                 deadline_ms=deadline_ms,
+                shard_key=shard_key or self.shard_key,
             )
         ).array
         assert array is not None

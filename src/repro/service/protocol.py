@@ -27,10 +27,12 @@ backpressure/observability frames:
 
 * every request body carries a *meta kv* immediately after the
   version/opcode bytes — ``priority`` (``interactive``/``batch``),
-  ``client_id`` (per-client quota key), and ``attempt`` (0 on the first
+  ``client_id`` (per-client quota key), ``attempt`` (0 on the first
   send; a retrying client increments it so the server can count retried
-  admissions).  Only non-default entries are written, so the common case
-  costs two bytes;
+  admissions), and ``shard_key`` (an explicit routing-affinity tag for
+  the sharded runtime's hash router; unknown meta keys are ignored, so
+  the vocabulary extends without a version bump).  Only non-default
+  entries are written, so the common case costs two bytes;
 * RETRY responses carry a ``reason`` string after the ``retry_after``
   hint (``queue-full`` / ``capacity`` / ``class-capacity`` /
   ``client-quota``), so clients and dashboards can tell *why* they were
@@ -52,7 +54,11 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.errors import CompressionError, ProtocolError
+from repro.errors import (
+    CompressionError,
+    ProtocolError,
+    ServiceConnectionError,
+)
 from repro.utils import BoundLike, normalize_bound
 
 PROTOCOL_VERSION = 2
@@ -309,6 +315,7 @@ class CompressRequest:
     attempt: int = 0
     deadline_ms: Optional[float] = None
     bound: Optional[BoundLike] = None
+    shard_key: Optional[str] = None
 
 
 @dataclass
@@ -318,6 +325,7 @@ class DecompressRequest:
     client_id: Optional[str] = None
     attempt: int = 0
     deadline_ms: Optional[float] = None
+    shard_key: Optional[str] = None
 
 
 @dataclass
@@ -330,6 +338,7 @@ class ReadSlabRequest:
     client_id: Optional[str] = None
     attempt: int = 0
     deadline_ms: Optional[float] = None
+    shard_key: Optional[str] = None
 
 
 @dataclass
@@ -383,6 +392,9 @@ def _request_writer(op: int, req: Request) -> _Writer:
     deadline_ms = getattr(req, "deadline_ms", None)
     if deadline_ms is not None:
         meta["deadline_ms"] = validate_deadline_ms(deadline_ms)
+    shard_key = getattr(req, "shard_key", None)
+    if shard_key:
+        meta["shard_key"] = str(shard_key)
     w.kv(meta)
     return w
 
@@ -399,6 +411,8 @@ def _apply_meta(req: Request, meta: Dict) -> Request:
         if deadline_ms is not None:
             deadline_ms = validate_deadline_ms(deadline_ms)
         req.deadline_ms = deadline_ms
+        shard_key = meta.get("shard_key")
+        req.shard_key = str(shard_key) if shard_key else None
     return req
 
 
@@ -515,6 +529,52 @@ def decode_request(body: bytes) -> Request:
         raise ProtocolError(f"unknown request opcode {op}")
     r.done()
     return _apply_meta(req, meta)
+
+
+def routing_key(body: bytes) -> Optional[str]:
+    """Routing-affinity key of an encoded request, for the hash router.
+
+    Decodes only as far as needed: the meta kv's ``shard_key`` wins when
+    present; otherwise a compress request's ``family=`` tag routes as
+    ``"family:NAME"`` (repeat family traffic should land on the shard
+    whose plan cache is already warm).  Everything else — content-keyed
+    compresses, decompresses, pings, stats — returns ``None``, meaning
+    "no affinity, balance freely".
+
+    Never raises: the router peeks at frames *before* a shard validates
+    them, so garbage here must fall through to a shard (which will answer
+    with the proper ERROR frame), not kill the router.
+    """
+    try:
+        r = _Reader(body)
+        if r.u8() != PROTOCOL_VERSION:
+            return None
+        op = r.u8()
+        if op not in (OP_PING, OP_COMPRESS, OP_DECOMPRESS, OP_READ_SLAB,
+                      OP_STATS):
+            return None
+        meta = r.kv()
+        shard_key = meta.get("shard_key")
+        if shard_key:
+            return str(shard_key)
+        if op != OP_COMPRESS:
+            return None
+        r.string()  # codec
+        r.kv()  # codec kwargs
+        r.u8()  # eb mode
+        r.f64()  # bound value
+        chunks_kind = r.u8()
+        if chunks_kind == 1:
+            r.u32()
+        elif chunks_kind == 2:
+            for _ in range(r.u8()):
+                r.u32()
+        elif chunks_kind != 0:
+            return None
+        family = r.string()
+        return f"family:{family}" if family else None
+    except (ProtocolError, UnicodeDecodeError):
+        return None
 
 
 # --------------------------------------------------------------------------
@@ -651,7 +711,10 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes:
     while remaining:
         part = sock.recv(min(remaining, 1 << 20))
         if not part:
-            raise ProtocolError("connection closed mid-frame")
+            # ServiceConnectionError is-a ProtocolError, so existing
+            # callers keep working — but reconnect-capable clients can
+            # now tell "peer vanished" from "peer sent garbage"
+            raise ServiceConnectionError("connection closed mid-frame")
         parts.append(part)
         remaining -= len(part)
     return b"".join(parts)
@@ -692,6 +755,7 @@ __all__ = [
     "Response",
     "encode_request",
     "decode_request",
+    "routing_key",
     "encode_ok_empty",
     "encode_ok_bytes",
     "encode_ok_array",

@@ -58,7 +58,17 @@ import time
 from collections import OrderedDict, deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Awaitable, Deque, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Awaitable,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -148,6 +158,10 @@ class ServiceConfig:
     client_burst: float = 48.0
     cost_aware: bool = True
     stats_interval: float = 0.0
+    #: identity of this instance within a sharded deployment (DESIGN.md
+    #: §14); the default (0 of 1) is the unsharded single-process serve
+    shard_id: int = 0
+    n_shards: int = 1
 
 
 @dataclass
@@ -180,13 +194,25 @@ class _PreparedCompress:
 class CompressionService:
     """Async compression service: bounded queue, batching, plan cache."""
 
-    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        plans: Optional[PlanLRU] = None,
+        extra_stats: Optional[
+            Callable[[], Dict[str, Union[int, float]]]
+        ] = None,
+    ) -> None:
         self.config = config or ServiceConfig()
         self._pending: Dict[str, "Deque[_Job]"] = {
             cls: deque() for cls in PRIORITIES
         }
         self._wakeup = asyncio.Event()
-        self.plans = PlanLRU(self.config.plan_cache_size)
+        # a sharded runtime injects a PlanLRU wired with its replication
+        # hook (repro.service.planbus); standalone use builds a plain one
+        self.plans = (
+            plans if plans is not None else PlanLRU(self.config.plan_cache_size)
+        )
+        self._extra_stats = extra_stats
         self.metrics = ServiceMetrics()
         self.cost_model = CostModel()
         self.admission = AdmissionController(
@@ -343,6 +369,8 @@ class CompressionService:
         is the protocol's typed kv map.
         """
         out: Dict[str, Union[int, float]] = {
+            "shard_id": self.config.shard_id,
+            "n_shards": self.config.n_shards,
             "queue_depth": sum(len(q) for q in self._pending.values()),
             "queue_depth_interactive": len(self._pending["interactive"]),
             "queue_depth_batch": len(self._pending["batch"]),
@@ -361,6 +389,8 @@ class CompressionService:
         out.update(self.metrics.snapshot())
         out.update(self.admission.stats())
         out.update(self.plans.stats())
+        if self._extra_stats is not None:
+            out.update(self._extra_stats())
         return out
 
     # ------------------------------------------------------------ scheduler

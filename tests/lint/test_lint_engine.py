@@ -37,7 +37,7 @@ BAD_EXCEPT = textwrap.dedent(
 
 def test_rule_catalogue_is_complete():
     ids = sorted(rule_classes())
-    assert ids == [f"RL{i:03d}" for i in range(1, 11)]
+    assert ids == [f"RL{i:03d}" for i in range(1, 12)]
 
 
 def test_module_scoping_gates_rules():

@@ -683,3 +683,96 @@ def test_rl010_allowlists_the_shim_module_itself():
         **_RL010_OPTIONS,
     )
     assert findings == []
+
+
+# ------------------------------------------------------------------- RL011
+
+
+def test_rl011_fires_on_shard_state_in_process_args():
+    findings = run(
+        "RL011",
+        """
+        import multiprocessing
+
+        def launch(config):
+            metrics = ServiceMetrics()
+            proc = multiprocessing.Process(
+                target=shard_main, args=(config, metrics)
+            )
+            proc.start()
+        """,
+        relpath="repro/service/shard_runtime.py",
+    )
+    assert hits(findings) == [("RL011", 6)]
+    assert "ServiceMetrics" in findings[0].message
+    assert "planbus" in findings[0].message
+
+
+def test_rl011_fires_on_pickling_tracked_attribute():
+    findings = run(
+        "RL011",
+        """
+        import pickle
+
+        class ShardRuntime:
+            def snapshot(self):
+                return pickle.dumps(self._plans)
+        """,
+        relpath="repro/service/shard_runtime.py",
+    )
+    assert hits(findings) == [("RL011", 6)]
+    assert "PlanLRU" in findings[0].message
+
+
+def test_rl011_fires_on_sending_tracked_object_over_pipe():
+    findings = run(
+        "RL011",
+        """
+        def publish(conn):
+            admission = AdmissionController(budget=64)
+            conn.send(admission)
+        """,
+        relpath="repro/service/shard_runtime.py",
+    )
+    assert hits(findings) == [("RL011", 4)]
+    assert "AdmissionController" in findings[0].message
+
+
+def test_rl011_passes_on_encoded_messages_and_local_use():
+    findings = run(
+        "RL011",
+        """
+        import multiprocessing
+        from repro.service.planbus import encode_plan
+
+        def launch(config):
+            metrics = ServiceMetrics()
+            metrics.record_done()
+            proc = multiprocessing.Process(
+                target=shard_main, args=(config,)
+            )
+            conn, other = multiprocessing.Pipe()
+            conn.send_bytes(encode_plan("climate", plan))
+            return proc, metrics
+        """,
+        relpath="repro/service/shard_runtime.py",
+    )
+    assert findings == []
+
+
+def test_rl011_allowlists_the_bus_module_itself():
+    # the bus IS the sanctioned boundary: the same pickling that fires
+    # anywhere else in the service layer is the bus's whole job
+    findings = run(
+        "RL011",
+        """
+        import pickle
+
+        def encode_plan(family):
+            plans = PlanLRU(capacity=8)
+            return pickle.dumps(plans)
+        """,
+        relpath="repro/service/planbus.py",
+        allow_modules=["repro/service/planbus.py"],
+    )
+    assert findings == []

@@ -12,7 +12,12 @@ import threading
 import numpy as np
 import pytest
 
-from repro.errors import ProtocolError, RemoteServiceError
+from repro.errors import (
+    ProtocolError,
+    RemoteServiceError,
+    ServiceConnectionError,
+)
+from repro.service import protocol
 from repro.service.client import RemoteClient
 
 
@@ -115,3 +120,81 @@ class TestSendAll:
         sock = FakeSocket(sends=[5, 0])
         with pytest.raises(RemoteServiceError, match="5 of 8"):
             self.client_with(sock)._send_all(b"abcdefgh")
+
+
+class ScriptedServer:
+    """Accepts one connection per behavior, running them in order.
+
+    Models a shard dying and a replacement (or a reuseport sibling)
+    answering the redial: behavior k handles the k-th connection.
+    """
+
+    def __init__(self, behaviors):
+        self._behaviors = list(behaviors)
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        self.port = self._listener.getsockname()[1]
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        for behavior in self._behaviors:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return
+            try:
+                behavior(conn)
+            finally:
+                conn.close()
+
+    def close(self):
+        self._listener.close()
+        self._thread.join(timeout=10)
+
+
+def drop_after_request(conn):
+    conn.settimeout(10)
+    conn.recv(1 << 16)  # swallow the request, then slam the connection
+
+
+def answer_ping(conn):
+    conn.settimeout(10)
+    protocol.read_frame_sync(conn)
+    conn.sendall(protocol.frame(protocol.encode_ok_empty()))
+
+
+class TestReconnect:
+    def test_reconnect_resends_and_succeeds(self):
+        srv = ScriptedServer([drop_after_request, answer_ping])
+        try:
+            with RemoteClient(port=srv.port, timeout=10, reconnects=2) as c:
+                c.ping()  # first connection dies; redial must recover
+        finally:
+            srv.close()
+
+    def test_reconnect_budget_exhaustion_is_typed(self):
+        srv = ScriptedServer([drop_after_request] * 3)
+        try:
+            with RemoteClient(port=srv.port, timeout=10, reconnects=1) as c:
+                with pytest.raises(
+                    ServiceConnectionError, match="reconnect\\s+budget 1"
+                ):
+                    c.ping()
+        finally:
+            srv.close()
+
+    def test_default_client_does_not_reconnect(self):
+        # reconnects=0: the drop surfaces immediately, first exchange
+        srv = ScriptedServer([drop_after_request, answer_ping])
+        try:
+            with RemoteClient(port=srv.port, timeout=10) as c:
+                with pytest.raises(ServiceConnectionError):
+                    c.ping()
+        finally:
+            srv.close()
+
+    def test_connection_error_is_both_families(self):
+        # satellite contract: callers written against either exception
+        # family (transport vs RPC) keep catching shard-death errors
+        assert issubclass(ServiceConnectionError, RemoteServiceError)
+        assert issubclass(ServiceConnectionError, ProtocolError)

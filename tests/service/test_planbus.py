@@ -1,0 +1,194 @@
+"""Unit tests for the sharded-runtime building blocks (no subprocesses).
+
+Covers the plan-replication bus codec (versioned wire format, pickle
+byte-identity), the :class:`PlanLRU` replication hooks, shard key
+hashing / request routing keys, and the all-shards stats aggregation —
+the pieces ``repro serve --shards N`` composes.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.plan_cache import FrozenPlan, PlanLRU
+from repro.errors import ProtocolError
+from repro.service import aggregate_snapshots, shard_for_key
+from repro.service import planbus, protocol
+from repro.service.sharding import resolve_router, reuseport_available
+
+
+def make_plan(eb=1e-3, alpha=1.5):
+    return FrozenPlan(
+        codec="qoz", eb=eb, alpha=alpha, beta=2.0,
+        interpolators={1: (1, 0), 2: (0, 0)}, anchor_stride=64,
+    )
+
+
+class TestBusCodec:
+    def test_plan_roundtrip_preserves_pickle_bytes(self):
+        plan = make_plan()
+        key = ("qoz", 1e-3, "climate")
+        body = planbus.encode_plan(3, key, plan)
+        msg = planbus.decode_message(body)
+        assert msg.kind == planbus.MSG_PLAN
+        assert msg.shard_id == 3
+        assert msg.key == key
+        # the replication contract: the installed plan pickles to the
+        # exact bytes the deriver published (byte-identity downstream)
+        assert pickle.dumps(msg.plan, protocol=pickle.HIGHEST_PROTOCOL) == \
+            pickle.dumps(plan, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def test_hello_roundtrip(self):
+        msg = planbus.decode_message(planbus.encode_hello(1, 9754, 4242))
+        assert (msg.kind, msg.shard_id, msg.port, msg.pid) == (
+            planbus.MSG_HELLO, 1, 9754, 4242,
+        )
+
+    def test_stats_roundtrip(self):
+        stats = {"admitted_interactive": 7, "batch_fill_ewma": 0.25}
+        msg = planbus.decode_message(planbus.encode_stats_resp(0, stats))
+        assert msg.kind == planbus.MSG_STATS_RESP
+        assert msg.stats == stats
+
+    def test_wrong_version_rejected(self):
+        body = bytearray(planbus.encode_hello(0, 1, 2))
+        body[0] = 99
+        with pytest.raises(ProtocolError, match="version 99"):
+            planbus.decode_message(bytes(body))
+
+    def test_unknown_kind_rejected(self):
+        body = bytearray(planbus.encode_hello(0, 1, 2))
+        body[1] = 77
+        with pytest.raises(ProtocolError, match="kind 77"):
+            planbus.decode_message(bytes(body))
+
+    def test_plan_payload_must_be_a_frozen_plan(self):
+        w = planbus._header(planbus.MSG_PLAN, 0)
+        w.blob(pickle.dumps("key"))
+        w.blob(pickle.dumps({"not": "a plan"}))
+        with pytest.raises(ProtocolError, match="not FrozenPlan"):
+            planbus.decode_message(w.getvalue())
+
+
+class TestPlanLRUReplication:
+    def test_install_does_not_overwrite_and_counts(self):
+        lru = PlanLRU(capacity=4)
+        local = make_plan(alpha=1.0)
+        remote = make_plan(alpha=9.0)
+        assert lru.install("k", local)
+        assert not lru.install("k", remote)  # local copy wins
+        assert lru.get_or_derive("k", lambda: remote) is local
+        assert lru.stats()["plan_replicated"] == 1
+
+    def test_install_respects_capacity(self):
+        lru = PlanLRU(capacity=2)
+        for i in range(5):
+            lru.install(i, make_plan())
+        assert lru.stats()["plan_cache_size"] == 2
+
+    def test_on_derive_hook_fires_only_on_derivation(self):
+        published = []
+        lru = PlanLRU(capacity=4, on_derive=lambda k, p: published.append(k))
+        plan = make_plan()
+        lru.get_or_derive("a", lambda: plan)
+        lru.get_or_derive("a", lambda: plan)  # hit: no publish
+        lru.install("b", plan)  # replicated in: no re-publish (no storm)
+        assert published == ["a"]
+
+
+class TestRouting:
+    def test_shard_for_key_is_stable_and_in_range(self):
+        for n in (1, 2, 4, 7):
+            for key in ("family:climate", "plan:abc", "x"):
+                s = shard_for_key(key, n)
+                assert 0 <= s < n
+                assert s == shard_for_key(key, n)  # deterministic
+
+    def test_shard_for_key_spreads(self):
+        hits = {shard_for_key(f"family:f{i}", 4) for i in range(64)}
+        assert hits == {0, 1, 2, 3}
+
+    def test_routing_key_prefers_shard_key_meta(self):
+        req = protocol.StatsRequest()
+        body = protocol.encode_request(req)
+        assert protocol.routing_key(body) is None  # keyless op
+
+    def test_routing_key_from_compress_family(self):
+        import numpy as np
+
+        req = protocol.CompressRequest(
+            data=np.zeros((4, 4), dtype=np.float32),
+            codec="qoz", error_bound=1e-3, family="climate",
+        )
+        assert protocol.routing_key(protocol.encode_request(req)) == \
+            "family:climate"
+
+    def test_routing_key_shard_key_wins_over_family(self):
+        import numpy as np
+
+        req = protocol.CompressRequest(
+            data=np.zeros((4, 4), dtype=np.float32),
+            codec="qoz", error_bound=1e-3, family="climate",
+            shard_key="pin-7",
+        )
+        assert protocol.routing_key(protocol.encode_request(req)) == "pin-7"
+
+    def test_routing_key_never_raises_on_garbage(self):
+        assert protocol.routing_key(b"") is None
+        assert protocol.routing_key(b"\xff" * 40) is None
+
+    def test_resolve_router(self):
+        assert resolve_router("hash") == "hash"
+        expected = "reuseport" if reuseport_available() else "hash"
+        assert resolve_router("auto") == expected
+        with pytest.raises(ValueError):
+            resolve_router("carrier-pigeon")
+
+
+class TestAggregateSnapshots:
+    def snaps(self):
+        return {
+            0: {
+                "stats_version": 1, "shard_id": 0, "n_shards": 2,
+                "admitted_interactive": 3, "plan_cache_hits": 3,
+                "plan_cache_misses": 1, "batch_fill_ewma": 0.5,
+                "uptime_s": 10.0,
+            },
+            1: {
+                "stats_version": 1, "shard_id": 1, "n_shards": 2,
+                "admitted_interactive": 5, "plan_cache_hits": 1,
+                "plan_cache_misses": 3, "batch_fill_ewma": 0.25,
+                "uptime_s": 12.0,
+            },
+        }
+
+    def test_counters_sum_and_config_maxes(self):
+        agg = aggregate_snapshots(self.snaps())
+        assert agg["admitted_interactive"] == 8
+        assert agg["stats_version"] == 1  # config key: max, not sum
+        assert agg["uptime_s"] == 12.0
+        assert agg["n_shards"] == 2
+        assert agg["shards_reporting"] == 2
+        assert "shard_id" not in agg  # meaningless across the fleet
+
+    def test_hit_rate_recomputed_from_summed_counts(self):
+        agg = aggregate_snapshots(self.snaps())
+        assert agg["plan_cache_hit_rate"] == pytest.approx(4 / 8)
+
+    def test_ewma_averages(self):
+        agg = aggregate_snapshots(self.snaps())
+        assert agg["batch_fill_ewma"] == pytest.approx(0.375)
+
+    def test_per_shard_rows_prefixed(self):
+        agg = aggregate_snapshots(self.snaps(), per_shard=True)
+        assert agg["shard0_admitted_interactive"] == 3
+        assert agg["shard1_admitted_interactive"] == 5
+        # reconciliation: per-shard rows sum to the aggregate
+        assert agg["admitted_interactive"] == (
+            agg["shard0_admitted_interactive"]
+            + agg["shard1_admitted_interactive"]
+        )
+
+    def test_empty_fleet(self):
+        agg = aggregate_snapshots({})
+        assert agg["shards_reporting"] == 0
